@@ -1,0 +1,20 @@
+# Convenience targets for the DAC'17 reproduction.
+
+.PHONY: install test bench experiments examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro all
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo OK; done
+
+all: test bench experiments

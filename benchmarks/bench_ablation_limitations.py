@@ -1,0 +1,38 @@
+"""Ablation: the §3.1 limitations of the persistent-kernel timestamp,
+and the HDL pattern's immunity (the paper's stated reason to prefer it)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import limitations
+
+
+def test_limitations_ablation(benchmark):
+    result = run_once(benchmark, limitations.run, 40, 16, 25)
+    print("\n" + result.render())
+
+    # Healthy persistent pattern measures the true latency.
+    assert result.healthy_measured == pytest.approx(40, abs=1)
+
+    # Limitation 1: compiler-overridden depth -> stale timestamps. The
+    # FIFO hands out counter values from the launch window, destroying the
+    # measurement entirely.
+    assert result.stale_measured < result.gap_cycles / 2
+
+    # Limitation 2: launch skew between separate counters biases the
+    # difference by exactly the skew.
+    assert result.skew_error == pytest.approx(-25, abs=1)
+
+    # The HDL counter has neither failure mode.
+    assert result.hdl_measured == 40
+
+
+def test_limitation_bias_scales_with_skew(benchmark):
+    """The measurement error tracks the skew linearly — diagnosable."""
+    def sweep():
+        return [limitations.run(gap_cycles=50, launch_skew=skew).skew_error
+                for skew in (5, 10, 20)]
+    errors = run_once(benchmark, sweep)
+    assert errors == pytest.approx([-5, -10, -20], abs=1)

@@ -1,0 +1,35 @@
+"""§4 scalability sweep: the ibuffer cost surface over (N, DEPTH)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import scalability
+
+
+def test_ibuffer_scalability_surface(benchmark):
+    result = run_once(benchmark, scalability.run)
+    print("\n" + result.render())
+
+    # "scalable for both the depth of the trace buffer and the number of
+    # instances":
+    for count in scalability.COUNTS:
+        # Storage scales with DEPTH; the clock does not care (block RAM).
+        assert result.bits_linear_in_depth(count)
+        assert result.fmax_flat_in_depth(count)
+
+    # Logic replicates with N but is independent of DEPTH.
+    for depth in scalability.DEPTHS:
+        alms = [result.grid[(count, depth)].total.alms
+                for count in scalability.COUNTS]
+        assert alms == sorted(alms)          # monotone in N
+    for count in scalability.COUNTS:
+        alms_across_depth = {result.grid[(count, depth)].total.alms
+                             for depth in scalability.DEPTHS}
+        assert len(alms_across_depth) == 1   # flat in DEPTH
+
+    # Replication's fanout costs a little frequency, monotonically.
+    fmax_by_count = [result.grid[(count, 1024)].fmax_mhz
+                     for count in scalability.COUNTS]
+    assert fmax_by_count == sorted(fmax_by_count, reverse=True)

@@ -1,0 +1,103 @@
+"""Substrate micro-benchmarks: simulator, channels, pipeline throughput.
+
+Not a paper artifact — these quantify the reproduction's own performance
+(events/second) and pin the substrate behaviours the experiments rely on
+(stall-free instrumentation, pipelining speedup).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ibuffer import IBuffer, IBufferConfig
+from repro.core.logic_blocks import RawRecorderLogic
+from repro.kernels.vecadd import VecAddKernel
+from repro.pipeline.fabric import Fabric
+from repro.pipeline.kernel import PipelineConfig, SingleTaskKernel
+from repro.sim.core import Simulator
+
+
+def test_simulator_event_throughput(benchmark):
+    """Raw DES throughput: a ping-pong of two processes."""
+    def run():
+        sim = Simulator()
+        def ping():
+            for _ in range(10_000):
+                yield sim.timeout(1)
+        sim.process(ping())
+        sim.run()
+        return sim.now
+    cycles = benchmark(run)
+    assert cycles == 10_000
+
+
+def test_channel_throughput(benchmark):
+    """Producer/consumer pair across a FIFO channel."""
+    def run():
+        sim = Simulator()
+        from repro.channels.channel import Channel
+        channel = Channel(sim, "c", depth=16)
+        def producer():
+            for value in range(5_000):
+                yield from channel.write(value)
+        total = []
+        def consumer():
+            for _ in range(5_000):
+                value = yield from channel.read()
+                total.append(value)
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        return len(total)
+    assert benchmark(run) == 5_000
+
+
+def test_pipelined_kernel_throughput(benchmark):
+    """End-to-end: a 4096-work-item vecadd through the full memory system."""
+    def run():
+        fabric = Fabric(keep_lsu_samples=False)
+        n = 4096
+        fabric.memory.allocate("a", n).fill(np.arange(n))
+        fabric.memory.allocate("b", n).fill(np.arange(n))
+        fabric.memory.allocate("c", n)
+        engine = fabric.run_kernel(VecAddKernel(), {"n": n})
+        return engine.stats.total_cycles
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cycles > 0
+
+
+def test_instrumentation_is_stall_free(benchmark):
+    """The §4 requirement, quantified: adding an ibuffer probe to every
+    iteration must not change the kernel's cycle count at all."""
+    class Probed(SingleTaskKernel):
+        def __init__(self, ibuffer=None, **kw):
+            super().__init__(**kw)
+            self.ibuffer = ibuffer
+        def iteration_space(self, args):
+            return range(args["n"])
+        def body(self, ctx):
+            value = yield ctx.load("src", ctx.iteration)
+            if self.ibuffer is not None:
+                ctx.write_channel_nb(self.ibuffer.data_c[0], value)
+            yield ctx.store("dst", ctx.iteration, value)
+
+    def run_pair():
+        results = {}
+        for instrumented in (False, True):
+            fabric = Fabric(keep_lsu_samples=False)
+            n = 512
+            fabric.memory.allocate("src", n).fill(np.arange(n))
+            fabric.memory.allocate("dst", n)
+            ibuffer = None
+            if instrumented:
+                ibuffer = IBuffer(fabric, "probe",
+                                  logic_factory=lambda cu: RawRecorderLogic(),
+                                  config=IBufferConfig(count=1, depth=1024))
+            engine = fabric.run_kernel(Probed(ibuffer, name="probed"),
+                                       {"n": n})
+            results[instrumented] = engine.stats.total_cycles
+        return results
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert results[True] == results[False]   # zero perturbation

@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's evaluation artifacts
+(Figure 2, Table 1, the §3.1/§5.1/§5.2 campaigns) and asserts that the
+*shape* of the paper's finding holds — who wins, by roughly what factor.
+Run with: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a whole experiment exactly once per round.
+
+    The experiments are deterministic simulations; multiple iterations per
+    round would only re-measure identical work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Figure 2 walkthrough: observe how the compiler schedules your loops.
+
+The same matrix-vector multiply is compiled two ways — a single-task
+nested loop (Listing 6) and an NDRange kernel (Listing 7). The sequence
+number and timestamp primitives reveal that the synthesized hardware
+executes them in *different orders*, with different memory access
+patterns and different run times.
+
+Run:  python examples/execution_order_matvec.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig2
+
+
+def main() -> None:
+    result = fig2.run()   # the paper's N=50, num=100, probing i<10
+    print(result.render())
+
+    print("\n--- interpretation (paper §3.2) ---")
+    single, ndrange = result.single_task, result.ndrange
+    print(f"single-task accesses x as {single.access_order[:4]} ... "
+          "(unit stride: all inner iterations first)")
+    print(f"NDRange accesses x as {ndrange.access_order[:4]} ... "
+          "(num-stride: work-items interleave)")
+    faster = ("single-task" if single.total_cycles < ndrange.total_cycles
+              else "NDRange")
+    print(f"the different access patterns make {faster} faster on this "
+          "memory system "
+          f"({single.total_cycles} vs {ndrange.total_cycles} cycles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Profiling a multi-kernel channel pipeline (§4's replication use case).
+
+"Users may want to probe into multiple kernels or have multiple calling
+sites inside a kernel. This requires multiple ibuffer instances..."
+
+A producer kernel streams values into an AOCL channel; a slower consumer
+kernel drains it. Each kernel snapshots into its *own* ibuffer instance
+(compute units 0 and 1 of one replicated ibuffer kernel). Merging the two
+traces by timestamp reconstructs the global event order and exposes the
+channel backpressure on the producer.
+
+Run:  python examples/multi_kernel_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stall_monitor import StallMonitor
+from repro.pipeline.fabric import Fabric
+from repro.pipeline.kernel import SingleTaskKernel
+
+
+class Producer(SingleTaskKernel):
+    """Streams src[i] into the channel, snapshotting each send."""
+
+    def __init__(self, channel, monitor, **kw):
+        super().__init__(**kw)
+        self.channel = channel
+        self.monitor = monitor
+
+    def iteration_space(self, args):
+        return range(args["n"])
+
+    def body(self, ctx):
+        value = yield ctx.load("src", ctx.iteration)
+        self.monitor.take_snapshot(ctx, 0, ctx.iteration)   # probe kernel 1
+        yield ctx.write_channel(self.channel, value)        # may backpressure
+
+
+class Consumer(SingleTaskKernel):
+    """Drains the channel with extra per-item work, snapshotting each recv."""
+
+    def __init__(self, channel, monitor, ii=1, **kw):
+        from repro.pipeline.kernel import PipelineConfig
+        super().__init__(pipeline=PipelineConfig(ii=ii, max_inflight=1), **kw)
+        self.channel = channel
+        self.monitor = monitor
+
+    def iteration_space(self, args):
+        return range(args["n"])
+
+    def body(self, ctx):
+        value = yield ctx.read_channel(self.channel)
+        self.monitor.take_snapshot(ctx, 1, ctx.iteration)   # probe kernel 2
+        yield ctx.compute(ctx.arg("work"))                  # slower than producer
+        yield ctx.store("dst", ctx.iteration, value * 2)
+
+
+def main() -> None:
+    fabric = Fabric()
+    n, work = 48, 9
+    channel = fabric.channels.declare("stream", depth=4, width_bits=64)
+    monitor = StallMonitor(fabric, sites=2, depth=256, name="pipe_mon")
+    fabric.memory.allocate("src", n).fill(np.arange(n) + 100)
+    dst = fabric.memory.allocate("dst", n)
+
+    producer = fabric.launch(Producer(channel, monitor, name="producer"),
+                             {"n": n})
+    consumer = fabric.launch(
+        Consumer(channel, monitor, ii=work, name="consumer"),
+        {"n": n, "work": work})
+    fabric.run(producer.completion, consumer.completion)
+    fabric.run(fabric.memory.drained())
+    assert (dst.snapshot() == (np.arange(n) + 100) * 2).all()
+
+    sends = monitor.read_site(0)
+    recvs = monitor.read_site(1)
+    merged = sorted(
+        [("send", e["timestamp"], e["value"]) for e in sends]
+        + [("recv", e["timestamp"], e["value"]) for e in recvs],
+        key=lambda event: event[1])
+
+    print("global event order (first 14 events, merged by timestamp):")
+    for kind, cycle, item in merged[:14]:
+        print(f"  cycle {cycle:6d}  {kind:4s} item {item}")
+
+    # Per-item channel residency: recv time - send time.
+    send_at = {e["value"]: e["timestamp"] for e in sends}
+    recv_at = {e["value"]: e["timestamp"] for e in recvs}
+    residency = [recv_at[i] - send_at[i] for i in range(n)
+                 if i in send_at and i in recv_at]
+    print(f"\nchannel residency: min {min(residency)}, "
+          f"max {max(residency)} cycles over {len(residency)} items")
+    print(f"producer write-stall cycles (backpressure): "
+          f"{channel.stats.write_stall_cycles}")
+    print("the slow consumer throttles the producer after the 4-deep "
+          "channel fills — visible in both the traces and the stall counters")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Seeing the pipeline: Gantt views and one-page run profiles.
+
+"The synthesized hardware is fundamentally parallel ... It is essential
+to provide software developers with facilities to see how operations are
+executed" (§1). This walkthrough renders exactly that: iteration
+lifetimes of a deeply pipelined kernel vs a fully serialized one, plus
+the one-call run profile combining all the library's lenses.
+
+Run:  python examples/pipeline_visualizer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.gantt import peak_concurrency, pipelining_speedup, render_gantt
+from repro.core.report import summarize_run
+from repro.core.stall_monitor import StallMonitor
+from repro.kernels.matmul import MatMulKernel, allocate_matmul_buffers
+from repro.kernels.pointer_chase import PointerChaseKernel, build_chain
+from repro.kernels.vecadd import VecAddKernel
+from repro.pipeline.fabric import Fabric
+
+
+def main() -> None:
+    # -- a pipelined kernel: iterations overlap massively ---------------
+    fabric = Fabric()
+    n = 24
+    fabric.memory.allocate("a", n).fill(np.arange(n))
+    fabric.memory.allocate("b", n).fill(np.arange(n))
+    fabric.memory.allocate("c", n)
+    vec = fabric.run_kernel(VecAddKernel(), {"n": n})
+    trace = vec.stats.iteration_trace
+    print("vecadd (pipelined NDRange):")
+    print(render_gantt(trace, width=56, max_rows=12))
+    print(f"-> {pipelining_speedup(trace):.1f}x overlap, "
+          f"peak {peak_concurrency(trace)} work-items in flight\n")
+
+    # -- a serialized kernel: the dependency chain shows as a staircase --
+    from repro.pipeline.kernel import PipelineConfig, SingleTaskKernel
+
+    class SteppedChase(SingleTaskKernel):
+        """One iteration per dereference; the loop-carried index forces
+        strictly serial execution, so each Gantt row starts where the
+        previous ended."""
+
+        def __init__(self):
+            super().__init__(name="stepped_chase",
+                             pipeline=PipelineConfig(max_inflight=1))
+            self._index = 0
+
+        def iteration_space(self, args):
+            return range(args["steps"])
+
+        def body(self, ctx):
+            index = self._index if ctx.iteration else ctx.arg("start")
+            self._index = yield ctx.load("ptr", index)
+
+    chase_fabric = Fabric()
+    chase_fabric.memory.allocate("ptr", 64).fill(build_chain(64))
+    chase = chase_fabric.run_kernel(SteppedChase(), {"start": 0, "steps": 12})
+    print("pointer chase (dependency-serialized):")
+    print(render_gantt(chase.stats.iteration_trace, width=56, max_rows=12))
+    print(f"-> {pipelining_speedup(chase.stats.iteration_trace):.1f}x "
+          "overlap: the load-to-address chain forbids pipelining\n")
+
+    # -- the one-page profile of an instrumented run -----------------------
+    profile_fabric = Fabric()
+    monitor = StallMonitor(profile_fabric, sites=2, depth=512)
+    kernel = MatMulKernel(stall_monitor=monitor)
+    allocate_matmul_buffers(profile_fabric, 4, 8, 4)
+    engine = profile_fabric.run_kernel(kernel, {"rows_a": 4, "col_a": 8,
+                                                "col_b": 4})
+    print(summarize_run(profile_fabric, engine, monitor=monitor))
+
+
+if __name__ == "__main__":
+    main()

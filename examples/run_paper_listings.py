@@ -1,0 +1,103 @@
+"""Run the paper's OpenCL listings as *source code* on the simulated fabric.
+
+The paper's framework is "entirely coded in high-level programming
+languages such as OpenCL" — so this reproduction ships a mini OpenCL-C
+frontend and executes the listings themselves: the Listing 1 timestamp
+counter, the Listing 5 sequence server, and a Listing 6/7-style
+matrix-vector kernel whose info buffers reproduce Figure 2's observation.
+
+Run:  python examples/run_paper_listings.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend import compile_source
+from repro.pipeline.fabric import Fabric
+
+PAPER_SOURCE = r"""
+// Listing 1: the timestamp pattern using a persistent autorun kernel
+channel int time_ch1 __attribute__((depth(0)));
+
+__attribute__((autorun))
+__kernel void timer_srv(void) {
+    int count = 0;
+    while (1) {
+        bool success;
+        count++;
+        success = write_channel_nb_altera(time_ch1, count);
+    }
+}
+
+// Listing 5: the sequence-number pattern
+channel int seq_ch __attribute__((depth(0)));
+
+__attribute__((autorun))
+__kernel void seq_srv(void) {
+    int count = 0;
+    while (1) {
+        count++;
+        write_channel_altera(seq_ch, count);
+    }
+}
+
+// Listing 7: the instrumented NDRange matrix-vector multiply
+__kernel void matvec(__global int* x, __global int* y, __global int* z,
+                     __global int* info1, __global int* info2,
+                     __global int* info3, int num) {
+    int k = get_global_id(0);
+    int l = k * num;
+    int sum = 0;
+    for (int i = 0; i < num; i++) {
+        sum += x[i + l] * y[i];
+        if (i < 10) {
+            int seq = read_channel_altera(seq_ch);
+            info1[seq] = read_channel_altera(time_ch1);
+            info2[seq] = k;
+            info3[seq] = i;
+        }
+    }
+    z[k] = sum;
+}
+"""
+
+
+def main() -> None:
+    fabric = Fabric()
+    program = compile_source(fabric, PAPER_SOURCE)
+    print("compiled kernels:",
+          {name: kernel.kind for name, kernel in program.kernels.items()})
+
+    n_rows, num, probe = 12, 20, 10
+    fabric.memory.allocate("X", n_rows * num).fill(np.arange(n_rows * num))
+    fabric.memory.allocate("Y", num).fill(np.arange(num))
+    fabric.memory.allocate("Z", n_rows)
+    for name in ("I1", "I2", "I3"):
+        fabric.memory.allocate(name, n_rows * probe + 1)
+
+    fabric.run_kernel(program.kernel("matvec"), {
+        "__global_size": n_rows, "x": "X", "y": "Y", "z": "Z",
+        "info1": "I1", "info2": "I2", "info3": "I3", "num": num})
+
+    z = fabric.memory.buffer("Z").snapshot()
+    expected = (np.arange(n_rows * num).reshape(n_rows, num)
+                * np.arange(num)).sum(axis=1)
+    print(f"matvec result correct: {np.array_equal(z, expected)}")
+
+    info1 = fabric.memory.buffer("I1").snapshot()
+    info2 = fabric.memory.buffer("I2").snapshot()
+    info3 = fabric.memory.buffer("I3").snapshot()
+    print("\nthe Figure 2(b) observation, from compiled source "
+          "(info_seq rows):")
+    print(f"{'':14s}Timestamp     k     i")
+    for seq in range(1, 9):
+        print(f"info_seq[{seq:3d}]: {int(info1[seq]):9d} "
+              f"{int(info2[seq]):5d} {int(info3[seq]):5d}")
+    print("work-items enter the pipeline before any advances its inner "
+          "loop — observed via the paper's own primitives, compiled from "
+          "the paper's own source.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Synthesis-model walkthrough: what the instrumentation costs.
+
+Regenerates Table 1 (matrix multiply: base / stall monitor / watchpoint /
+both) and prints full fit summaries, plus the same design on all three of
+the paper's platforms.
+
+Run:  python examples/synthesis_reports.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+from repro.host.context import Context
+from repro.host.device import get_platforms
+from repro.host.program import Program
+from repro.kernels.matmul import MatMulKernel
+
+
+def main() -> None:
+    result = table1.run()
+    print(result.render())
+
+    print("\n--- full fit summary: the SM design ---")
+    print(result.reports["sm"].render())
+
+    print("\n--- base matmul across the paper's three platforms (§2) ---")
+    for device in get_platforms()[0].devices:
+        context = Context(device)
+        program = Program(context, [MatMulKernel()], name="matmul_base")
+        report = program.synthesis_report()
+        util = report.utilization_of(device.model)
+        print(f"{device.name:40s} fmax={report.fmax_mhz:6.1f} MHz  "
+              f"logic={util['alms']:5.1%}  blocks={report.total.ram_blocks}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(where the `wheel` package needed by PEP-660 editable installs is absent).
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — dynamic profiling & debugging support for OpenCL-for-FPGA designs.
+
+A faithful, executable reproduction of Verma et al., "Developing Dynamic
+Profiling and Debugging Support in OpenCL for FPGAs" (DAC 2017), built on a
+cycle-accurate simulator of the Altera OpenCL-for-FPGA execution model.
+
+Layering (bottom-up):
+
+* :mod:`repro.sim` — discrete-event simulation core (cycles);
+* :mod:`repro.channels` — AOCL channels / OpenCL pipes;
+* :mod:`repro.memory` — DDR-like global memory, local scratchpads, LSUs;
+* :mod:`repro.pipeline` — pipelined single-task/NDRange/autorun kernels;
+* :mod:`repro.hdl` — HDL library modules (the ``get_time`` counter);
+* :mod:`repro.synthesis` — calibrated area/fmax model (the Quartus stand-in);
+* :mod:`repro.host` — mini OpenCL host runtime;
+* :mod:`repro.core` — **the paper's contribution**: timestamp & sequence
+  primitives, the ibuffer framework, stall monitors, smart watchpoints;
+* :mod:`repro.kernels` — the evaluation kernels;
+* :mod:`repro.analysis` — host-side trace post-processing;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core import (
+    HDLTimestampService,
+    IBuffer,
+    IBufferCommand,
+    IBufferConfig,
+    IBufferState,
+    PersistentTimestampService,
+    SamplingMode,
+    SequenceService,
+    SmartWatchpoint,
+    StallMonitor,
+)
+from repro.host import CommandQueue, Context, Device, Program, get_platforms
+from repro.pipeline import (
+    AutorunKernel,
+    Fabric,
+    Kernel,
+    NDRangeKernel,
+    PipelineConfig,
+    ResourceProfile,
+    SingleTaskKernel,
+)
+from repro.synthesis import Design, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HDLTimestampService",
+    "IBuffer",
+    "IBufferCommand",
+    "IBufferConfig",
+    "IBufferState",
+    "PersistentTimestampService",
+    "SamplingMode",
+    "SequenceService",
+    "SmartWatchpoint",
+    "StallMonitor",
+    "CommandQueue",
+    "Context",
+    "Device",
+    "Program",
+    "get_platforms",
+    "AutorunKernel",
+    "Fabric",
+    "Kernel",
+    "NDRangeKernel",
+    "PipelineConfig",
+    "ResourceProfile",
+    "SingleTaskKernel",
+    "Design",
+    "synthesize",
+    "__version__",
+]

@@ -1,0 +1,99 @@
+"""Host-side trace post-processing (order, latency, violation analysis)."""
+
+from repro.analysis.latency import (
+    LatencyStats,
+    histogram,
+    latency_values,
+    render_latency_table,
+    stall_attribution,
+    summarize,
+)
+from repro.analysis.order import (
+    OrderRecord,
+    access_pattern,
+    classify_order,
+    order_records,
+    render_figure2,
+    timestamps_monotonic,
+)
+from repro.analysis.violations import (
+    WatchEvent,
+    count_by_kind,
+    decode_events,
+    render_watch_report,
+    value_history,
+)
+from repro.analysis.export import (
+    csv_to_entries,
+    entries_to_csv,
+    entries_to_json,
+    latency_samples_to_csv,
+    synthesis_report_to_dict,
+    synthesis_report_to_json,
+)
+from repro.analysis.vcd import VCDWriter, parse_vcd_changes, vcd_from_entries
+from repro.analysis.bottleneck import Finding, diagnose, render_diagnosis
+from repro.analysis.diff import (
+    LatencyDiff,
+    assert_traces_equal,
+    diff_latencies,
+    diff_traces,
+)
+from repro.analysis.gantt import (
+    concurrency_profile,
+    mean_lifetime,
+    peak_concurrency,
+    pipelining_speedup,
+    render_gantt,
+)
+from repro.analysis.timeline import (
+    Timeline,
+    event_rate_timeline,
+    latency_timeline,
+    occupancy_timeline,
+)
+
+__all__ = [
+    "csv_to_entries",
+    "entries_to_csv",
+    "entries_to_json",
+    "latency_samples_to_csv",
+    "synthesis_report_to_dict",
+    "synthesis_report_to_json",
+    "VCDWriter",
+    "parse_vcd_changes",
+    "vcd_from_entries",
+    "Finding",
+    "diagnose",
+    "render_diagnosis",
+    "LatencyDiff",
+    "assert_traces_equal",
+    "diff_latencies",
+    "diff_traces",
+    "concurrency_profile",
+    "mean_lifetime",
+    "peak_concurrency",
+    "pipelining_speedup",
+    "render_gantt",
+    "Timeline",
+    "event_rate_timeline",
+    "latency_timeline",
+    "occupancy_timeline",
+    "LatencyStats",
+    "histogram",
+    "latency_values",
+    "render_latency_table",
+    "stall_attribution",
+    "summarize",
+    "OrderRecord",
+    "access_pattern",
+    "classify_order",
+    "order_records",
+    "render_figure2",
+    "timestamps_monotonic",
+    "WatchEvent",
+    "count_by_kind",
+    "decode_events",
+    "render_watch_report",
+    "value_history",
+]

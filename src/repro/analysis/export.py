@@ -1,0 +1,84 @@
+"""Machine-readable exports: traces and reports as JSON/CSV.
+
+Downstream tooling (dashboards, regression trackers, spreadsheets) wants
+flat files; these helpers serialize trace entries, latency samples, and
+synthesis reports without any external dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.stall_monitor import LatencySample
+from repro.errors import TraceDecodeError
+from repro.synthesis.report import SynthesisReport
+
+
+def entries_to_csv(entries: Sequence[Dict[str, int]]) -> str:
+    """Trace entries -> CSV with a header row (stable field order)."""
+    if not entries:
+        raise TraceDecodeError("no entries to export")
+    fields = list(entries[0].keys())
+    lines = [",".join(fields)]
+    for entry in entries:
+        missing = set(fields) ^ set(entry)
+        if missing:
+            raise TraceDecodeError(
+                f"inconsistent entry fields: {sorted(missing)}")
+        lines.append(",".join(str(entry[name]) for name in fields))
+    return "\n".join(lines) + "\n"
+
+
+def entries_to_json(entries: Sequence[Dict[str, int]]) -> str:
+    """Trace entries -> JSON array (pretty, deterministic key order)."""
+    return json.dumps(list(entries), indent=2, sort_keys=True)
+
+
+def latency_samples_to_csv(samples: Iterable[LatencySample]) -> str:
+    """Paired latency samples -> CSV."""
+    lines = ["start_cycle,end_cycle,latency,start_value,end_value"]
+    for sample in samples:
+        lines.append(f"{sample.start_cycle},{sample.end_cycle},"
+                     f"{sample.latency},{sample.start_value},"
+                     f"{sample.end_value}")
+    if len(lines) == 1:
+        raise TraceDecodeError("no latency samples to export")
+    return "\n".join(lines) + "\n"
+
+
+def synthesis_report_to_dict(report: SynthesisReport) -> dict:
+    """A synthesis report as plain data (JSON-ready)."""
+    return {
+        "design": report.design_name,
+        "device": report.device_name,
+        "fmax_mhz": round(report.fmax_mhz, 2),
+        "retimed": report.retimed,
+        "total": report.total.as_dict(),
+        "per_kernel": {name: vector.as_dict()
+                       for name, vector in report.per_kernel.items()},
+        "channels": report.channels.as_dict(),
+        "shell": report.shell.as_dict(),
+    }
+
+
+def synthesis_report_to_json(report: SynthesisReport) -> str:
+    """A synthesis report as a JSON document."""
+    return json.dumps(synthesis_report_to_dict(report), indent=2,
+                      sort_keys=True)
+
+
+def csv_to_entries(document: str) -> List[Dict[str, int]]:
+    """Parse :func:`entries_to_csv` output back (round-trip support)."""
+    lines = [line for line in document.strip().splitlines() if line]
+    if len(lines) < 1:
+        raise TraceDecodeError("empty CSV document")
+    fields = lines[0].split(",")
+    entries = []
+    for line in lines[1:]:
+        values = line.split(",")
+        if len(values) != len(fields):
+            raise TraceDecodeError(f"malformed CSV row: {line!r}")
+        entries.append({name: int(value)
+                        for name, value in zip(fields, values)})
+    return entries

@@ -1,0 +1,109 @@
+"""Latency analysis for stall-monitor traces (§5.1).
+
+Pairs snapshot-site arrivals into per-operation latencies and summarizes
+them: distribution statistics, histograms, and stall attribution against a
+known unloaded baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.stall_monitor import LatencySample
+from repro.errors import TraceDecodeError
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency population."""
+
+    count: int
+    minimum: int
+    maximum: int
+    mean: float
+    p50: float
+    p95: float
+
+    @staticmethod
+    def from_values(values: Sequence[int]) -> "LatencyStats":
+        if not values:
+            raise TraceDecodeError("no latency samples to summarize")
+        ordered = sorted(values)
+        return LatencyStats(
+            count=len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+        )
+
+
+def _percentile(ordered: Sequence[int], fraction: float) -> float:
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(ordered[low])
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def latency_values(samples: Iterable[LatencySample]) -> List[int]:
+    """Extract latencies, rejecting negative pairs (decode errors)."""
+    values = []
+    for sample in samples:
+        if sample.latency < 0:
+            raise TraceDecodeError(
+                f"negative latency {sample.latency}: start/end sites mispaired")
+        values.append(sample.latency)
+    return values
+
+
+def summarize(samples: Iterable[LatencySample]) -> LatencyStats:
+    """Distribution statistics over paired samples."""
+    return LatencyStats.from_values(latency_values(samples))
+
+
+def histogram(samples: Iterable[LatencySample], bin_width: int = 16) -> Dict[int, int]:
+    """Latency histogram keyed by bin lower bound."""
+    if bin_width < 1:
+        raise TraceDecodeError(f"bin width must be >= 1, got {bin_width}")
+    bins: Dict[int, int] = {}
+    for value in latency_values(samples):
+        key = (value // bin_width) * bin_width
+        bins[key] = bins.get(key, 0) + 1
+    return dict(sorted(bins.items()))
+
+
+def stall_attribution(samples: Sequence[LatencySample],
+                      unloaded_latency: int) -> Tuple[int, float]:
+    """Total stall cycles beyond the unloaded access latency.
+
+    Returns ``(total_stall_cycles, stalled_fraction)`` where the fraction
+    counts samples exceeding the unloaded latency — the pipeline-stall
+    picture the §5.1 monitor exists to expose.
+    """
+    values = latency_values(samples)
+    if not values:
+        raise TraceDecodeError("no samples for stall attribution")
+    stall = sum(max(0, value - unloaded_latency) for value in values)
+    stalled = sum(1 for value in values if value > unloaded_latency)
+    return stall, stalled / len(values)
+
+
+def render_latency_table(stats: LatencyStats, title: str = "load latency") -> str:
+    """Small text table for reports and the CLI."""
+    return "\n".join([
+        f"--- {title} (cycles) ---",
+        f"samples : {stats.count}",
+        f"min     : {stats.minimum}",
+        f"p50     : {stats.p50:.1f}",
+        f"mean    : {stats.mean:.1f}",
+        f"p95     : {stats.p95:.1f}",
+        f"max     : {stats.maximum}",
+    ])

@@ -1,0 +1,100 @@
+"""Execution-order reconstruction (the Figure 2 analysis).
+
+Takes the ``info1/info2/info3`` profiling buffers written by the
+instrumented matvec kernels (timestamp, outer index k, inner index i —
+addressed by sequence number) and rebuilds the dynamic issue order, the
+implied memory access pattern, and a rendering in the paper's row format::
+
+    Timestamp   k   i
+    info_seq[51]: 8272   5   0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import TraceDecodeError
+
+
+@dataclass(frozen=True)
+class OrderRecord:
+    """One profiled read-site execution: its sequence slot and payload."""
+
+    seq: int
+    timestamp: int
+    outer: int   # k — outer-loop iteration / work-item id
+    inner: int   # i — inner-loop iteration
+
+
+def order_records(info1: Sequence[int], info2: Sequence[int],
+                  info3: Sequence[int], first_seq: int = 1,
+                  count: Optional[int] = None) -> List[OrderRecord]:
+    """Decode the three info buffers into sequence-ordered records.
+
+    Sequence numbers start at ``first_seq`` (the sequence server counts
+    from 1). ``count`` limits how many slots to decode (default: the rest
+    of the buffers).
+    """
+    if not len(info1) == len(info2) == len(info3):
+        raise TraceDecodeError(
+            f"info buffers disagree on length: {len(info1)}, {len(info2)}, "
+            f"{len(info3)}")
+    last = len(info1) if count is None else min(len(info1), first_seq + count)
+    records = []
+    for seq in range(first_seq, last):
+        records.append(OrderRecord(seq=seq, timestamp=int(info1[seq]),
+                                   outer=int(info2[seq]), inner=int(info3[seq])))
+    return records
+
+
+def classify_order(records: Iterable[OrderRecord]) -> str:
+    """Classify the observed schedule.
+
+    * ``"program-order"`` — all probed inner iterations of one outer
+      iteration issue before the next outer begins (Figure 2(a));
+    * ``"interleaved"`` — outer iterations (work-items) issue an inner
+      iteration before any moves to the next (Figure 2(b));
+    * ``"other"`` — anything else.
+    """
+    ordered = sorted(records, key=lambda r: r.seq)
+    if not ordered:
+        return "other"
+    keys = [(r.outer, r.inner) for r in ordered]
+    if keys == sorted(keys):
+        return "program-order"
+    swapped = [(r.inner, r.outer) for r in ordered]
+    if swapped == sorted(swapped):
+        return "interleaved"
+    return "other"
+
+
+def access_pattern(records: Iterable[OrderRecord], num: int,
+                   limit: int = 8) -> List[int]:
+    """The x-array indices touched, in observed order (§3.2's discussion).
+
+    Single-task yields ``0, 1, 2, …``; NDRange yields ``0, num, 2*num, …``.
+    """
+    ordered = sorted(records, key=lambda r: r.seq)
+    return [r.outer * num + r.inner for r in ordered[:limit]]
+
+
+def timestamps_monotonic(records: Iterable[OrderRecord]) -> bool:
+    """Sequence order and time order must agree (sanity invariant)."""
+    ordered = sorted(records, key=lambda r: r.seq)
+    return all(a.timestamp <= b.timestamp
+               for a, b in zip(ordered, ordered[1:]))
+
+
+def render_figure2(records: Sequence[OrderRecord], start_seq: int,
+                   count: int = 4) -> str:
+    """Render a window of records in the paper's Figure 2 row format."""
+    lines = [f"{'':14s}Timestamp     k     i"]
+    by_seq = {r.seq: r for r in records}
+    for seq in range(start_seq, start_seq + count):
+        record = by_seq.get(seq)
+        if record is None:
+            continue
+        lines.append(f"info_seq[{seq:3d}]: {record.timestamp:9d} {record.outer:5d} "
+                     f"{record.inner:5d}")
+    return "\n".join(lines)

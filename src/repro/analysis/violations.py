@@ -1,0 +1,68 @@
+"""Watchpoint-event analysis: gdb-style reports from §5.2 traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.logic_blocks import (
+    KIND_BOUND_VIOLATION,
+    KIND_INVARIANCE_VIOLATION,
+    KIND_MATCH,
+)
+
+_KIND_NAMES = {
+    KIND_MATCH: "watch-hit",
+    KIND_BOUND_VIOLATION: "bound-violation",
+    KIND_INVARIANCE_VIOLATION: "invariance-violation",
+}
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One decoded watchpoint trace entry."""
+
+    timestamp: int
+    address: int
+    tag: int
+    kind: int
+
+    @property
+    def kind_name(self) -> str:
+        return _KIND_NAMES.get(self.kind, f"kind-{self.kind}")
+
+
+def decode_events(entries: Iterable[Dict[str, int]]) -> List[WatchEvent]:
+    """Raw trace dicts -> typed events, chronological order preserved."""
+    return [WatchEvent(timestamp=e["timestamp"], address=e["address"],
+                       tag=e["tag"], kind=e["kind"]) for e in entries]
+
+
+def value_history(events: Iterable[WatchEvent],
+                  address: Optional[int] = None) -> List[tuple]:
+    """(cycle, value) history of a watched location — what ``watch`` in gdb
+    shows as "Old value / New value" over time."""
+    return [(e.timestamp, e.tag) for e in events
+            if e.kind == KIND_MATCH and (address is None or e.address == address)]
+
+
+def count_by_kind(events: Iterable[WatchEvent]) -> Dict[str, int]:
+    """Event counts grouped by kind name (the report summary line)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.kind_name] = counts.get(event.kind_name, 0) + 1
+    return counts
+
+
+def render_watch_report(events: Sequence[WatchEvent], limit: int = 20) -> str:
+    """Readable event log, one line per event."""
+    lines = [f"{'cycle':>10s}  {'event':22s} {'address':>12s} {'value':>10s}"]
+    for event in events[:limit]:
+        lines.append(f"{event.timestamp:10d}  {event.kind_name:22s} "
+                     f"{event.address:#12x} {event.tag:10d}")
+    if len(events) > limit:
+        lines.append(f"... {len(events) - limit} more events")
+    summary = ", ".join(f"{name}: {count}"
+                        for name, count in sorted(count_by_kind(events).items()))
+    lines.append(f"summary: {summary if summary else 'no events'}")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Altera channel / OpenCL pipe model."""
+
+from repro.channels.channel import Channel, ChannelStats
+from repro.channels.registry import ChannelArray, ChannelNamespace
+
+__all__ = ["Channel", "ChannelStats", "ChannelArray", "ChannelNamespace"]

@@ -1,0 +1,233 @@
+"""Altera AOCL channel / OpenCL pipe model.
+
+Channels are the probing mechanism the paper builds everything on: "We
+leverage Altera AOCL channels or OpenCL pipes to probe into the synthesized
+pipelines" (§1). This module models their semantics at cycle granularity:
+
+* **depth >= 1** — a FIFO of that capacity. Blocking reads/writes stall the
+  calling pipeline; non-blocking variants return a success flag.
+* **depth == 0** — two behaviours, both used by the paper:
+
+  - *register semantics* for **non-blocking writes** (Listing 1): the channel
+    "always contains the most up-to-date counter value"; a non-blocking
+    write overwrites the register and never stalls the producer, and reads
+    observe the latest value (non-destructively).
+  - *rendezvous semantics* for **blocking writes** (Listing 5): the write
+    does not complete until a consumer reads the value — this is what makes
+    the sequence counter increment exactly once per consumer read.
+
+* **single producer / single consumer** — the paper notes "each channel can
+  only support one producer and one consumer"; endpoint bindings are
+  enforced and violations raise :class:`~repro.errors.ChannelUsageError`.
+
+* **compiled depth** — §3.1 limitation 1: "the OpenCL compiler may try to
+  optimize the channel depth although it is explicitly set to zero, which
+  may result in stale timestamps". Passing ``compiled_depth`` models the
+  compiler overriding the requested depth; tests and an ablation bench
+  demonstrate the resulting staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional, Tuple
+
+from repro.errors import ChannelDepthError, ChannelUsageError
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Store
+
+
+@dataclass
+class ChannelStats:
+    """Dynamic statistics, mirroring what the Altera profiler reports."""
+
+    writes: int = 0
+    write_failures: int = 0
+    reads: int = 0
+    read_failures: int = 0
+    write_stall_cycles: int = 0
+    read_stall_cycles: int = 0
+    max_occupancy: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "writes": self.writes,
+            "write_failures": self.write_failures,
+            "reads": self.reads,
+            "read_failures": self.read_failures,
+            "write_stall_cycles": self.write_stall_cycles,
+            "read_stall_cycles": self.read_stall_cycles,
+            "max_occupancy": self.max_occupancy,
+        }
+
+
+class Channel:
+    """One AOCL channel endpoint pair.
+
+    Blocking operations are generator methods intended to be yielded from
+    inside simulation processes, e.g. ``value = yield from channel.read()``.
+    Non-blocking operations are plain methods usable at any instant.
+    """
+
+    _UNSET = object()
+
+    def __init__(self, sim: Simulator, name: str, depth: int = 1,
+                 compiled_depth: Optional[int] = None, width_bits: int = 32) -> None:
+        if depth < 0:
+            raise ChannelDepthError(f"channel {name!r}: depth must be >= 0, got {depth}")
+        if compiled_depth is not None and compiled_depth < 0:
+            raise ChannelDepthError(
+                f"channel {name!r}: compiled_depth must be >= 0, got {compiled_depth}")
+        self.sim = sim
+        self.name = name
+        #: Depth requested in source (the ``__attribute__((depth(N)))``).
+        self.requested_depth = depth
+        #: Depth the "compiler" actually implemented (§3.1 limitation 1).
+        self.depth = depth if compiled_depth is None else compiled_depth
+        self.width_bits = width_bits
+        self.stats = ChannelStats()
+        self._producer: Any = None
+        self._consumer: Any = None
+        if self.depth > 0:
+            self._fifo: Optional[Store] = Store(sim, capacity=self.depth)
+        else:
+            self._fifo = None
+            self._register: Any = Channel._UNSET
+            self._pending_writers: list = []   # (event, value) rendezvous writers
+            self._pending_readers: list = []   # events of blocked readers
+
+    # -- endpoint discipline ----------------------------------------------
+
+    def bind_producer(self, owner: Any) -> None:
+        """Register ``owner`` as the single allowed producer."""
+        if self._producer is not None and self._producer is not owner:
+            raise ChannelUsageError(
+                f"channel {self.name!r} already has producer {self._producer!r}; "
+                f"cannot also bind {owner!r} (channels are single-producer)")
+        self._producer = owner
+
+    def bind_consumer(self, owner: Any) -> None:
+        """Register ``owner`` as the single allowed consumer."""
+        if self._consumer is not None and self._consumer is not owner:
+            raise ChannelUsageError(
+                f"channel {self.name!r} already has consumer {self._consumer!r}; "
+                f"cannot also bind {owner!r} (channels are single-consumer)")
+        self._consumer = owner
+
+    @property
+    def producer(self) -> Any:
+        return self._producer
+
+    @property
+    def consumer(self) -> Any:
+        return self._consumer
+
+    # -- occupancy ---------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Number of values currently buffered."""
+        if self._fifo is not None:
+            return len(self._fifo)
+        return 0 if self._register is Channel._UNSET else 1
+
+    @property
+    def has_data(self) -> bool:
+        if self._fifo is not None:
+            return len(self._fifo) > 0
+        return self._register is not Channel._UNSET or bool(self._pending_writers)
+
+    def _note_occupancy(self) -> None:
+        occ = self.occupancy
+        if occ > self.stats.max_occupancy:
+            self.stats.max_occupancy = occ
+
+    # -- non-blocking API (write_channel_nb_altera / read_channel_nb_altera)
+
+    def write_nb(self, value: Any) -> bool:
+        """Non-blocking write. Returns True on success.
+
+        On a depth-0 channel this always succeeds by overwriting the current
+        register value (the free-running-counter usage in Listing 1).
+        """
+        if self._fifo is not None:
+            ok = self._fifo.try_put(value)
+            self.stats.writes += 1 if ok else 0
+            self.stats.write_failures += 0 if ok else 1
+            self._note_occupancy()
+            return ok
+        # depth 0: serve a blocked reader directly, else update the register.
+        if self._pending_readers:
+            reader = self._pending_readers.pop(0)
+            reader.succeed(value)
+        else:
+            self._register = value
+        self.stats.writes += 1
+        self._note_occupancy()
+        return True
+
+    def read_nb(self) -> Tuple[Any, bool]:
+        """Non-blocking read. Returns ``(value, valid)``."""
+        if self._fifo is not None:
+            value, ok = self._fifo.try_get()
+            self.stats.reads += 1 if ok else 0
+            self.stats.read_failures += 0 if ok else 1
+            return value, ok
+        # depth 0: prefer a waiting rendezvous writer, else the register.
+        if self._pending_writers:
+            event, value = self._pending_writers.pop(0)
+            event.succeed()
+            self.stats.reads += 1
+            return value, True
+        if self._register is not Channel._UNSET:
+            self.stats.reads += 1
+            return self._register, True
+        self.stats.read_failures += 1
+        return None, False
+
+    # -- blocking API (write_channel_altera / read_channel_altera) ---------
+
+    def write(self, value: Any) -> Generator:
+        """Blocking write; yield from inside a process.
+
+        Depth-0 blocking writes rendezvous with a reader (Listing 5's
+        sequencing counter relies on this to advance once per read).
+        """
+        start = self.sim.now
+        if self._fifo is not None:
+            yield self._fifo.put(value)
+        else:
+            if self._pending_readers:
+                reader = self._pending_readers.pop(0)
+                reader.succeed(value)
+            else:
+                event = Event(self.sim)
+                self._pending_writers.append((event, value))
+                yield event
+        self.stats.writes += 1
+        self.stats.write_stall_cycles += self.sim.now - start
+        self._note_occupancy()
+
+    def read(self) -> Generator:
+        """Blocking read; yields the value when available."""
+        start = self.sim.now
+        if self._fifo is not None:
+            get = self._fifo.get()
+            value = yield get
+        else:
+            if self._pending_writers:
+                event, value = self._pending_writers.pop(0)
+                event.succeed()
+            elif self._register is not Channel._UNSET:
+                value = self._register
+            else:
+                event = Event(self.sim)
+                self._pending_readers.append(event)
+                value = yield event
+        self.stats.reads += 1
+        self.stats.read_stall_cycles += self.sim.now - start
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Channel {self.name!r} depth={self.depth} "
+                f"(requested {self.requested_depth}) occ={self.occupancy}>")

@@ -1,0 +1,96 @@
+"""Named channel declarations and channel arrays.
+
+The paper's listings declare channels at file scope (``channel int
+data_in[N]``); a :class:`ChannelNamespace` plays that role for a simulated
+program, so kernels resolve channels by name exactly once and endpoint
+(single-producer / single-consumer) rules hold program-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ChannelUsageError
+from repro.channels.channel import Channel
+from repro.sim.core import Simulator
+
+
+class ChannelArray:
+    """An indexed family of channels, e.g. ``cmd_c[N]`` in Listing 10."""
+
+    def __init__(self, sim: Simulator, name: str, count: int, depth: int = 1,
+                 compiled_depth: Optional[int] = None, width_bits: int = 32) -> None:
+        if count < 1:
+            raise ChannelUsageError(f"channel array {name!r} needs count >= 1, got {count}")
+        self.name = name
+        self._channels: List[Channel] = [
+            Channel(sim, f"{name}[{index}]", depth=depth,
+                    compiled_depth=compiled_depth, width_bits=width_bits)
+            for index in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __getitem__(self, index: int) -> Channel:
+        return self._channels[index]
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self._channels)
+
+
+class ChannelNamespace:
+    """All channels declared by one program; lookup by name."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._scalars: Dict[str, Channel] = {}
+        self._arrays: Dict[str, ChannelArray] = {}
+
+    def declare(self, name: str, depth: int = 1, compiled_depth: Optional[int] = None,
+                width_bits: int = 32) -> Channel:
+        """Declare a scalar channel; re-declaration is an error."""
+        self._check_fresh(name)
+        channel = Channel(self.sim, name, depth=depth,
+                          compiled_depth=compiled_depth, width_bits=width_bits)
+        self._scalars[name] = channel
+        return channel
+
+    def declare_array(self, name: str, count: int, depth: int = 1,
+                      compiled_depth: Optional[int] = None,
+                      width_bits: int = 32) -> ChannelArray:
+        """Declare a channel array of ``count`` channels."""
+        self._check_fresh(name)
+        array = ChannelArray(self.sim, name, count, depth=depth,
+                             compiled_depth=compiled_depth, width_bits=width_bits)
+        self._arrays[name] = array
+        return array
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._scalars or name in self._arrays:
+            raise ChannelUsageError(f"channel {name!r} declared twice")
+
+    def get(self, name: str) -> Channel:
+        """Resolve a scalar channel by name."""
+        try:
+            return self._scalars[name]
+        except KeyError:
+            raise ChannelUsageError(f"no scalar channel named {name!r}") from None
+
+    def get_array(self, name: str) -> ChannelArray:
+        """Resolve a channel array by name."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise ChannelUsageError(f"no channel array named {name!r}") from None
+
+    def all_channels(self) -> List[Channel]:
+        """Every declared channel, scalars then arrays, in declaration order."""
+        channels = list(self._scalars.values())
+        for array in self._arrays.values():
+            channels.extend(array)
+        return channels
+
+    def stats_table(self) -> Dict[str, dict]:
+        """Per-channel dynamic statistics keyed by channel name."""
+        return {channel.name: channel.stats.as_dict() for channel in self.all_channels()}

@@ -1,0 +1,66 @@
+"""Command-line entry point: run the paper's experiments from a shell.
+
+::
+
+    repro-fpga fig2          # Figure 2 execution-order traces
+    repro-fpga table1        # Table 1 area/frequency rows
+    repro-fpga sec31         # timestamp-pattern overhead
+    repro-fpga sec51         # stall-monitor use case
+    repro-fpga sec52         # smart-watchpoint use case
+    repro-fpga limitations   # §3.1 limitations ablation
+    repro-fpga all           # everything, in paper order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (fig2, limitations, scalability, sec31,
+                               sec51, sec52, table1)
+
+_EXPERIMENTS = {
+    "fig2": lambda args: fig2.run(n=args.n, num=args.num).render(),
+    "table1": lambda args: table1.run(depth=args.depth).render(),
+    "sec31": lambda args: sec31.run().render(),
+    "sec51": lambda args: sec51.run().render(),
+    "sec52": lambda args: sec52.run().render(),
+    "limitations": lambda args: limitations.run().render(),
+    "scalability": lambda args: scalability.run().render(),
+}
+
+_PAPER_ORDER = ("sec31", "fig2", "table1", "sec51", "sec52",
+                "limitations", "scalability")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga",
+        description="Reproduce the DAC'17 OpenCL-for-FPGA profiling/debugging "
+                    "experiments on the simulated AOCL fabric.")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["all"],
+                        help="which experiment to run")
+    parser.add_argument("--n", type=int, default=fig2.PAPER_N,
+                        help="fig2: outer extent / work-items (default: paper's 50)")
+    parser.add_argument("--num", type=int, default=fig2.PAPER_NUM,
+                        help="fig2: inner trip count (default: paper's 100)")
+    parser.add_argument("--depth", type=int, default=table1.TABLE1_DEPTH,
+                        help="table1: trace buffer DEPTH")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: run the selected experiment(s) and print reports."""
+    args = build_parser().parse_args(argv)
+    names = _PAPER_ORDER if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(_EXPERIMENTS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""The paper's contribution: dynamic profiling & debugging for OpenCL-for-FPGA.
+
+Public surface:
+
+* primitives — :class:`PersistentTimestampService`,
+  :class:`HDLTimestampService` (§3.1) and :class:`SequenceService` (§3.2);
+* the framework — :class:`IBuffer`, :class:`IBufferConfig`, the state
+  machine in :mod:`repro.core.commands`, trace storage in
+  :mod:`repro.core.trace_buffer`, logic blocks, and the host interface;
+* the use cases — :class:`StallMonitor` (§5.1) and
+  :class:`SmartWatchpoint` (§5.2).
+"""
+
+from repro.core.commands import IBufferCommand, IBufferState, SamplingMode, next_state
+from repro.core.host_interface import HostController, HostInterfaceKernel
+from repro.core.ibuffer import IBuffer, IBufferConfig
+from repro.core.logic_blocks import (
+    KIND_BOUND_VIOLATION,
+    KIND_INVARIANCE_VIOLATION,
+    KIND_MATCH,
+    LogicBlock,
+    RawRecorderLogic,
+    StallMonitorLogic,
+    WatchpointLogic,
+)
+from repro.core.processing import (
+    FILTER_LAYOUT,
+    HISTOGRAM_LAYOUT,
+    SUMMARY_LAYOUT,
+    HistogramLogic,
+    SummaryLogic,
+    ThresholdFilterLogic,
+)
+from repro.core.report import summarize_run
+from repro.core.sequence import SequenceServerKernel, SequenceService
+from repro.core.stall_monitor import LatencySample, StallMonitor
+from repro.core.timestamp import (
+    HDLTimestampService,
+    PersistentTimestampService,
+    TimerServiceKernel,
+)
+from repro.core.trace_buffer import (
+    EntryLayout,
+    RAW_LAYOUT,
+    STALL_LAYOUT,
+    TraceBuffer,
+    WATCH_LAYOUT,
+    decode_words,
+)
+from repro.core.vendor_profiler import (
+    ChannelCounters,
+    LSUCounters,
+    VendorProfileReport,
+    VendorProfiler,
+)
+from repro.core.watchpoint import SmartWatchpoint
+
+__all__ = [
+    "summarize_run",
+    "FILTER_LAYOUT",
+    "HISTOGRAM_LAYOUT",
+    "SUMMARY_LAYOUT",
+    "HistogramLogic",
+    "SummaryLogic",
+    "ThresholdFilterLogic",
+    "ChannelCounters",
+    "LSUCounters",
+    "VendorProfileReport",
+    "VendorProfiler",
+    "IBufferCommand",
+    "IBufferState",
+    "SamplingMode",
+    "next_state",
+    "HostController",
+    "HostInterfaceKernel",
+    "IBuffer",
+    "IBufferConfig",
+    "KIND_BOUND_VIOLATION",
+    "KIND_INVARIANCE_VIOLATION",
+    "KIND_MATCH",
+    "LogicBlock",
+    "RawRecorderLogic",
+    "StallMonitorLogic",
+    "WatchpointLogic",
+    "SequenceServerKernel",
+    "SequenceService",
+    "LatencySample",
+    "StallMonitor",
+    "HDLTimestampService",
+    "PersistentTimestampService",
+    "TimerServiceKernel",
+    "EntryLayout",
+    "RAW_LAYOUT",
+    "STALL_LAYOUT",
+    "WATCH_LAYOUT",
+    "TraceBuffer",
+    "decode_words",
+    "SmartWatchpoint",
+]

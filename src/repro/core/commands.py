@@ -1,0 +1,76 @@
+"""ibuffer states, commands, and sampling modes (Figure 3).
+
+"An ibuffer can be in one of the following states: reset, sample, stop,
+and read. ... A state transition occurs either when there is control
+information provided through the command channel, or when an event
+completes in the state machine." (§4)
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.errors import IBufferError
+
+
+class IBufferState(IntEnum):
+    """The four states of the ibuffer state machine."""
+
+    RESET = 0
+    SAMPLE = 1
+    STOP = 2
+    READ = 3
+
+
+class IBufferCommand(IntEnum):
+    """Commands the host sends over the command channel.
+
+    The integer values double as the on-channel encoding forwarded by the
+    host interface kernel (Listing 10).
+    """
+
+    RESET = 0
+    SAMPLE = 1
+    STOP = 2
+    READ = 3
+
+
+class SamplingMode(IntEnum):
+    """Trace-buffer fill policy during the SAMPLE state (§4).
+
+    LINEAR: "writes to the trace buffer stop when it is full".
+    CYCLIC: "writes continue until a stop command is issued" (flight recorder).
+    """
+
+    LINEAR = 0
+    CYCLIC = 1
+
+
+#: Command-driven transitions of Figure 3: (state, command) -> next state.
+#: Event-driven transitions (read drained -> STOP; linear buffer full has no
+#: state change, writes simply stop) are handled inside the ibuffer kernel.
+COMMAND_TRANSITIONS = {
+    (IBufferState.RESET, IBufferCommand.SAMPLE): IBufferState.SAMPLE,
+    (IBufferState.RESET, IBufferCommand.RESET): IBufferState.RESET,
+    (IBufferState.SAMPLE, IBufferCommand.STOP): IBufferState.STOP,
+    (IBufferState.SAMPLE, IBufferCommand.RESET): IBufferState.RESET,
+    (IBufferState.SAMPLE, IBufferCommand.READ): IBufferState.READ,
+    (IBufferState.STOP, IBufferCommand.READ): IBufferState.READ,
+    (IBufferState.STOP, IBufferCommand.RESET): IBufferState.RESET,
+    (IBufferState.STOP, IBufferCommand.SAMPLE): IBufferState.SAMPLE,
+    (IBufferState.READ, IBufferCommand.RESET): IBufferState.RESET,
+}
+
+
+def next_state(state: IBufferState, command: IBufferCommand) -> IBufferState:
+    """Apply a command; illegal transitions keep the current state.
+
+    Hardware cannot raise exceptions; an ignored command is the faithful
+    behaviour. The table above rejects, e.g., READ->SAMPLE without an
+    intervening RESET, because the read pointer would be mid-flight.
+    """
+    try:
+        command = IBufferCommand(command)
+    except ValueError:
+        raise IBufferError(f"unknown ibuffer command {command!r}") from None
+    return COMMAND_TRANSITIONS.get((state, command), state)

@@ -1,0 +1,195 @@
+"""Pluggable logic function blocks for the ibuffer.
+
+"The logic function blocks provide data processing capabilities while the
+trace buffer serves as a flight recorder" (§1). This is the paper's key
+differentiator from logic-analyzer approaches: "our software-centric
+approach enables intelligent data processing rather than merely recording
+the selected signals".
+
+A logic block receives each datum arriving on the ibuffer's data-in channel
+during SAMPLE and decides what (if anything) to record. Watchpoint-style
+blocks also receive configuration from an auxiliary channel (the
+``addr_in_c`` channel of Listing 11).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.trace_buffer import EntryLayout, RAW_LAYOUT, STALL_LAYOUT, WATCH_LAYOUT
+from repro.errors import IBufferError
+from repro.pipeline.kernel import ResourceProfile
+
+#: Event kinds recorded by the watchpoint logic's ``kind`` field.
+KIND_MATCH = 1
+KIND_BOUND_VIOLATION = 2
+KIND_INVARIANCE_VIOLATION = 3
+
+
+class LogicBlock:
+    """Base processing block; subclasses define the entry layout."""
+
+    layout: EntryLayout = RAW_LAYOUT
+
+    def on_reset(self) -> None:
+        """Clear internal state when the ibuffer enters RESET."""
+
+    def on_data(self, now: int, data: Any) -> Iterable[Dict[str, int]]:
+        """Process one datum; return the entries to record (possibly none)."""
+        raise NotImplementedError
+
+    def on_aux(self, now: int, aux: Any) -> None:
+        """Process one configuration datum from the auxiliary channel."""
+
+    def on_flush(self, now: int) -> Iterable[Dict[str, int]]:
+        """Entries to write when sampling stops (SAMPLE -> STOP command).
+
+        Processing blocks that maintain running summaries (histograms,
+        min/max/sum) override this to materialize their registers into the
+        trace buffer for readout. Default: nothing.
+        """
+        return ()
+
+    def resource_profile(self) -> ResourceProfile:
+        """Hardware added to the ibuffer kernel by this block."""
+        return ResourceProfile(logic_ops=2, extra_registers=64)
+
+
+class RawRecorderLogic(LogicBlock):
+    """Record every arriving value with its arrival timestamp."""
+
+    layout = RAW_LAYOUT
+
+    def on_data(self, now: int, data: Any) -> Iterable[Dict[str, int]]:
+        return [{"timestamp": now, "value": int(data)}]
+
+    def resource_profile(self) -> ResourceProfile:
+        return ResourceProfile(logic_ops=1, extra_registers=64)
+
+
+class StallMonitorLogic(LogicBlock):
+    """§5.1 pipeline stall monitor: timestamp-on-arrival.
+
+    "A timestamp is taken inside the ibuffer when there is data available
+    to be read at the data input channel." The ``slot`` field carries the
+    snapshot-site id so host-side analysis can pair site-0/site-1 arrivals
+    into latencies.
+    """
+
+    layout = STALL_LAYOUT
+
+    def __init__(self, slot: int) -> None:
+        if slot < 0:
+            raise IBufferError(f"snapshot slot must be >= 0, got {slot}")
+        self.slot = slot
+
+    def on_data(self, now: int, data: Any) -> Iterable[Dict[str, int]]:
+        return [{"timestamp": now, "value": int(data), "slot": self.slot}]
+
+    def resource_profile(self) -> ResourceProfile:
+        # Timestamp capture register + site tag mux.
+        return ResourceProfile(logic_ops=2, adders=1, extra_registers=96)
+
+
+class WatchpointLogic(LogicBlock):
+    """§5.2 smart watchpoints with bound and invariance checking.
+
+    Data arrives as ``(address, tag)`` pairs from ``monitor_address`` call
+    sites; watch addresses arrive on the auxiliary channel (``add_watch``).
+    Optional processing, following iWatcher [11]:
+
+    * **address bound checking** — any monitored address outside
+      ``[bound_low, bound_high)`` records a violation entry;
+    * **value invariance checking** — if a watched location's tag (value)
+      differs from the last observed tag, a violation entry is recorded.
+    """
+
+    layout = WATCH_LAYOUT
+
+    def __init__(self, max_watches: int = 4,
+                 bound_low: Optional[int] = None,
+                 bound_high: Optional[int] = None,
+                 invariance: bool = False) -> None:
+        if max_watches < 1:
+            raise IBufferError(f"max_watches must be >= 1, got {max_watches}")
+        if (bound_low is None) != (bound_high is None):
+            raise IBufferError("bound checking needs both bound_low and bound_high")
+        if bound_low is not None and bound_low >= bound_high:
+            raise IBufferError(
+                f"empty bound range [{bound_low}, {bound_high})")
+        self.max_watches = max_watches
+        self.bound_low = bound_low
+        self.bound_high = bound_high
+        self.invariance = invariance
+        self._watches: List[int] = []
+        self._last_tag: Dict[int, int] = {}
+        self.violations = 0
+
+    @property
+    def watches(self) -> Tuple[int, ...]:
+        return tuple(self._watches)
+
+    def set_bounds(self, low: Optional[int], high: Optional[int]) -> None:
+        """Host-side (re)configuration of the bound comparators.
+
+        Buffer base addresses exist only after allocation, so the host
+        programs the comparator registers before launching the kernel under
+        test — the same way it sets kernel arguments. ``None, None``
+        disables bound checking.
+        """
+        if (low is None) != (high is None):
+            raise IBufferError("bound checking needs both low and high (or neither)")
+        if low is not None and low >= high:
+            raise IBufferError(f"empty bound range [{low}, {high})")
+        self.bound_low = low
+        self.bound_high = high
+
+    def on_reset(self) -> None:
+        self._last_tag.clear()
+        self.violations = 0
+        # Watch addresses persist across RESET, like hardware watch registers;
+        # reconfiguration happens through the aux channel.
+
+    def on_aux(self, now: int, aux: Any) -> None:
+        """Install a watch address (drops beyond ``max_watches``, as the
+        fixed comparator bank in hardware would)."""
+        address = int(aux)
+        if address in self._watches:
+            return
+        if len(self._watches) >= self.max_watches:
+            return
+        self._watches.append(address)
+
+    def on_data(self, now: int, data: Any) -> Iterable[Dict[str, int]]:
+        try:
+            address, tag = data
+        except (TypeError, ValueError):
+            raise IBufferError(
+                f"watchpoint data must be (address, tag) pairs, got {data!r}") from None
+        address = int(address)
+        tag = int(tag)
+        entries: List[Dict[str, int]] = []
+        if self.bound_low is not None and not self.bound_low <= address < self.bound_high:
+            self.violations += 1
+            entries.append({"timestamp": now, "address": address, "tag": tag,
+                            "kind": KIND_BOUND_VIOLATION})
+        if address in self._watches:
+            entries.append({"timestamp": now, "address": address, "tag": tag,
+                            "kind": KIND_MATCH})
+            if self.invariance:
+                last = self._last_tag.get(address)
+                if last is not None and last != tag:
+                    self.violations += 1
+                    entries.append({"timestamp": now, "address": address,
+                                    "tag": tag, "kind": KIND_INVARIANCE_VIOLATION})
+                self._last_tag[address] = tag
+        return entries
+
+    def resource_profile(self) -> ResourceProfile:
+        # One comparator per watch register + bound comparators + tag store.
+        comparators = self.max_watches + (2 if self.bound_low is not None else 0)
+        return ResourceProfile(
+            logic_ops=2 * comparators,
+            adders=1,
+            extra_registers=64 * self.max_watches + 128,
+        )

@@ -1,0 +1,84 @@
+"""One-call profiling summaries: everything a run can tell you, in one page.
+
+Composes the engine's execution statistics, the iteration-trace pipeline
+view, the vendor-style aggregate counters, and (when present) a stall
+monitor's latency trace into a single text report — the "what happened
+and why is it slow" page a developer wants after every run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.gantt import (
+    mean_lifetime,
+    peak_concurrency,
+    pipelining_speedup,
+    render_gantt,
+)
+from repro.analysis.latency import render_latency_table, summarize
+from repro.analysis.timeline import occupancy_timeline
+from repro.core.stall_monitor import StallMonitor
+from repro.core.vendor_profiler import VendorProfiler
+from repro.errors import ReproError
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.fabric import Fabric
+
+
+def summarize_run(fabric: Fabric, engine: PipelineEngine,
+                  monitor: Optional[StallMonitor] = None,
+                  gantt_rows: int = 12) -> str:
+    """Render the full profile of one completed kernel launch."""
+    if not engine.completion.triggered:
+        raise ReproError("summarize_run needs a completed launch")
+    stats = engine.stats
+    lines: List[str] = [
+        f"=== Run profile: {engine.kernel.name} ===",
+        f"cycles         : {stats.total_cycles}",
+        f"iterations     : {stats.iterations_retired}",
+        f"issue stalls   : {stats.issue_stall_cycles} cycles",
+    ]
+
+    trace = stats.iteration_trace
+    if trace:
+        lines += [
+            f"pipelining     : {pipelining_speedup(trace):.1f}x overlap, "
+            f"peak {peak_concurrency(trace)} in flight, "
+            f"mean lifetime {mean_lifetime(trace):.1f} cycles",
+            "",
+            render_gantt(trace, width=56, max_rows=gantt_rows),
+        ]
+
+    # Aggregate memory-site view (always available).
+    profiler = VendorProfiler(fabric)
+    profiler.start_cycle = stats.start_cycle or 0
+    report = profiler.report(engine)
+    busiest = report.busiest_site()
+    if busiest is not None:
+        lines += [
+            "",
+            f"busiest memory site: {busiest.site} "
+            f"({busiest.accesses} accesses, mean "
+            f"{busiest.mean_latency_cycles:.1f} cycles)",
+        ]
+
+    # Ranked bottleneck advisory.
+    from repro.analysis.bottleneck import diagnose, render_diagnosis
+    findings = diagnose(fabric, engine, top=3)
+    if findings:
+        lines += ["", "--- top cycle sinks ---", render_diagnosis(findings)]
+
+    # Per-event latency detail when a stall monitor was attached.
+    if monitor is not None:
+        samples = monitor.latencies(0, 1)
+        if samples:
+            lines += ["", render_latency_table(summarize(samples),
+                                               "monitored latency"),
+                      occupancy_timeline(samples, bin_width=64)
+                      .render("monitored in-flight")]
+            dropped = sum(monitor.dropped_snapshots(site)
+                          for site in range(monitor.sites))
+            if dropped:
+                lines.append(f"(note: {dropped} snapshots dropped in bursts)")
+
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Smart watchpoints (§5.2, Figure 5, Listing 11).
+
+"A watchpoint monitors how the value at a user-specified location in
+memory changes over time. ... additional functionality such as invariance
+checking or address bound checking can be included to make watchpoints
+more intelligent" (after iWatcher [11]).
+
+The user explicitly instruments memory operations: ``add_watch(id, addr)``
+installs a watch via the auxiliary channel; ``monitor_address(id, addr,
+tag)`` reports each memory operation that may touch watched state. The
+ibuffer's watchpoint logic compares, checks, and records (tag, timestamp)
+pairs on match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.commands import IBufferState, SamplingMode
+from repro.core.host_interface import HostController
+from repro.core.ibuffer import IBuffer, IBufferConfig
+from repro.core.logic_blocks import (
+    KIND_BOUND_VIOLATION,
+    KIND_INVARIANCE_VIOLATION,
+    KIND_MATCH,
+    WatchpointLogic,
+)
+from repro.errors import IBufferError
+from repro.pipeline.context import KernelContext
+from repro.pipeline.fabric import Fabric
+from repro.pipeline.kernel import ResourceProfile
+
+
+class SmartWatchpoint:
+    """Watchpoint unit(s): one ibuffer instance per monitor id.
+
+    ``bounds`` (low, high) enables address bound checking on every
+    monitored operation; ``invariance=True`` flags value changes at watched
+    addresses. Both are per-unit static configuration — "supported by
+    simply changing the code of ibuffer" (§5.2).
+    """
+
+    def __init__(self, fabric: Fabric, units: int = 1, depth: int = 1024,
+                 mode: SamplingMode = SamplingMode.LINEAR,
+                 name: str = "watchpoint", max_watches: int = 4,
+                 bounds: Optional[tuple] = None, invariance: bool = False,
+                 initial_state: IBufferState = IBufferState.SAMPLE) -> None:
+        if units < 1:
+            raise IBufferError(f"watchpoint needs >= 1 unit, got {units}")
+        low, high = bounds if bounds is not None else (None, None)
+        self.fabric = fabric
+        self.name = name
+        self.units = units
+        self.ibuffer = IBuffer(
+            fabric, name,
+            logic_factory=lambda cu: WatchpointLogic(
+                max_watches=max_watches, bound_low=low, bound_high=high,
+                invariance=invariance),
+            config=IBufferConfig(count=units, depth=depth, mode=mode,
+                                 use_aux_channel=True,
+                                 initial_state=initial_state))
+        self.host = HostController(fabric, self.ibuffer)
+
+    # -- kernel-side API (Listing 11) -----------------------------------
+
+    def add_watch(self, ctx: KernelContext, unit: int, address: int) -> None:
+        """``add_watch(uint id, size_t address)`` — non-blocking, zero-time."""
+        self._check_unit(unit)
+        ctx.write_channel_nb(self.ibuffer.addr_c[unit], int(address))
+
+    def monitor_address(self, ctx: KernelContext, unit: int, address: int,
+                        tag: int) -> None:
+        """``monitor_address(uint id, size_t addr, ushort tag)``.
+
+        Reports one memory operation: the address it touched and the value
+        involved (the tag). Non-blocking, zero-time for the caller.
+        """
+        self._check_unit(unit)
+        ctx.write_channel_nb(self.ibuffer.data_c[unit], (int(address), int(tag)))
+
+    def _check_unit(self, unit: int) -> None:
+        if not 0 <= unit < self.units:
+            raise IBufferError(f"watchpoint unit {unit} out of range [0, {self.units})")
+
+    # -- host-side configuration ---------------------------------------------
+
+    def set_bounds(self, low: Optional[int], high: Optional[int],
+                   unit: Optional[int] = None) -> None:
+        """Program the bound comparators of one (or every) unit.
+
+        Done from the host before launching the kernel under test, once
+        buffer base addresses are known (like setting kernel arguments).
+        """
+        units = range(self.units) if unit is None else [unit]
+        for target in units:
+            self._check_unit(target)
+            logic = self.ibuffer.logic[target]
+            logic.set_bounds(low, high)
+
+    def set_bounds_to_buffer(self, buffer_name: str,
+                             unit: Optional[int] = None) -> None:
+        """Convenience: bound-check against one allocated buffer's extent."""
+        store = self.fabric.memory.buffer(buffer_name)
+        self.set_bounds(store.base_address, store.end_address, unit)
+
+    # -- host-side analysis ------------------------------------------------
+
+    def read_unit(self, unit: int) -> List[Dict[str, int]]:
+        """Stop (if sampling) and read one unit's recorded events."""
+        if self.ibuffer.states.get(unit) == IBufferState.SAMPLE:
+            self.host.stop(unit)
+        return self.host.read_trace(unit)
+
+    def matches(self, unit: int = 0) -> List[Dict[str, int]]:
+        """Watch hits: (timestamp, address, tag) history of watched state."""
+        return [e for e in self.read_unit(unit) if e["kind"] == KIND_MATCH]
+
+    def bound_violations(self, unit: int = 0) -> List[Dict[str, int]]:
+        """Recorded out-of-bounds accesses (address bound checking)."""
+        return [e for e in self.read_unit(unit)
+                if e["kind"] == KIND_BOUND_VIOLATION]
+
+    def invariance_violations(self, unit: int = 0) -> List[Dict[str, int]]:
+        """Recorded unexpected value changes (invariance checking)."""
+        return [e for e in self.read_unit(unit)
+                if e["kind"] == KIND_INVARIANCE_VIOLATION]
+
+    def resource_profile(self) -> ResourceProfile:
+        """Hardware the watchpoint unit(s) add to the design."""
+        return self.ibuffer.resource_profile().scaled(self.units)
+
+    def kernels(self) -> list:
+        """The kernels this watchpoint unit adds to the compiled image."""
+        return [self.ibuffer, self.host.kernel]
+
+
+def caller_site_profile(monitor_sites: int = 2, watch_sites: int = 1) -> ResourceProfile:
+    """Hardware added inside the kernel under test: the ``monitor_address``
+    and ``add_watch`` channel-write endpoints."""
+    return ResourceProfile(channel_endpoints=monitor_sites + watch_sites,
+                           logic_ops=monitor_sites + watch_sites)

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised for illegal operations on the discrete-event simulator."""
+
+
+class ProcessError(SimulationError):
+    """Raised when a simulation process fails or is misused."""
+
+
+class ChannelError(ReproError):
+    """Base class for channel-related errors."""
+
+
+class ChannelUsageError(ChannelError):
+    """Raised when channel single-producer/single-consumer rules are broken.
+
+    The paper notes that "each channel can only support one producer and one
+    consumer"; binding a second endpoint of the same kind is a user error in
+    the AOCL flow and is rejected here as well.
+    """
+
+
+class ChannelDepthError(ChannelError):
+    """Raised for invalid channel depth configuration."""
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-system errors (named to avoid shadowing builtins)."""
+
+
+class AddressError(MemoryError_):
+    """Raised on out-of-range accesses to a backing store."""
+
+
+class UnknownBufferError(MemoryError_):
+    """Raised when a kernel references a buffer that was never bound."""
+
+
+class KernelError(ReproError):
+    """Base class for kernel-model errors."""
+
+
+class KernelArgumentError(KernelError):
+    """Raised when kernel arguments are missing or of the wrong kind."""
+
+
+class KernelBuildError(KernelError):
+    """Raised when a kernel cannot be compiled into a pipeline."""
+
+
+class HDLError(ReproError):
+    """Raised for HDL-library integration problems."""
+
+
+class SynthesisError(ReproError):
+    """Raised when the synthesis model is given an inconsistent design."""
+
+
+class HostAPIError(ReproError):
+    """Raised for misuse of the mini OpenCL host runtime."""
+
+
+class IBufferError(ReproError):
+    """Raised for ibuffer framework misconfiguration."""
+
+
+class TraceDecodeError(ReproError):
+    """Raised when a raw trace cannot be decoded into events."""

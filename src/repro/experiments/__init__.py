@@ -1,0 +1,16 @@
+"""One module per paper experiment; shared by benchmarks, CLI, and docs.
+
+* :mod:`repro.experiments.fig2`        — Figure 2(a)/(b) execution order;
+* :mod:`repro.experiments.table1`      — Table 1 area/frequency;
+* :mod:`repro.experiments.sec31`       — §3.1 timestamp-pattern overhead;
+* :mod:`repro.experiments.sec51`       — §5.1 stall-monitor use case;
+* :mod:`repro.experiments.sec52`       — §5.2 smart-watchpoint use case;
+* :mod:`repro.experiments.limitations` — §3.1 limitations ablation;
+* :mod:`repro.experiments.scalability` — §4 ibuffer cost surface (N x DEPTH).
+"""
+
+from repro.experiments import (fig2, limitations, scalability, sec31,
+                               sec51, sec52, table1)
+
+__all__ = ["fig2", "limitations", "scalability", "sec31", "sec51",
+           "sec52", "table1"]

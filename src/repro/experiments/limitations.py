@@ -1,0 +1,114 @@
+"""§3.1 limitations, demonstrated (the ablation experiment).
+
+The paper names two failure modes of the persistent-kernel timestamp:
+
+1. **Compiler-overridden channel depth** — "the OpenCL compiler may try to
+   optimize the channel depth although it is explicitly set to zero, which
+   may result in stale timestamps." With a FIFO of depth D between the
+   counter and the reader, the reader drains values the counter produced
+   up to D cycles ago.
+2. **Launch skew between persistent counters** — "this may be a problem if
+   different persistent kernels are not launched in the same cycle and
+   there could be offsets among the separate free-running counters",
+   corrupting latencies computed across two counters' read sites.
+
+Both are reproduced by configuration; the HDL timestamp is shown immune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.timestamp import HDLTimestampService, PersistentTimestampService
+from repro.pipeline.fabric import Fabric
+from repro.pipeline.kernel import SingleTaskKernel
+
+
+class _TwoSiteProbe(SingleTaskKernel):
+    """Reads two timestamp sites a fixed compute distance apart."""
+
+    def __init__(self, reader, gap_cycles: int, name: str) -> None:
+        super().__init__(name=name)
+        self.reader = reader
+        self.gap_cycles = gap_cycles
+        self.pairs: List[Tuple[int, int]] = []
+
+    def iteration_space(self, args) -> List[int]:
+        return [0]
+
+    def body(self, ctx):
+        start = yield self.reader(ctx, 0)
+        yield ctx.compute(self.gap_cycles)
+        end = yield self.reader(ctx, 1)
+        self.pairs.append((start, end))
+
+
+@dataclass
+class LimitationsResult:
+    gap_cycles: int
+    healthy_measured: int
+    stale_measured: int
+    compiled_depth: int
+    skewed_measured: int
+    launch_skew: int
+    hdl_measured: int
+
+    @property
+    def stale_error(self) -> int:
+        return self.stale_measured - self.gap_cycles
+
+    @property
+    def skew_error(self) -> int:
+        return self.skewed_measured - self.gap_cycles
+
+    def render(self) -> str:
+        return "\n".join([
+            "=== Section 3.1 limitations (ablation) ===",
+            f"true event latency          : {self.gap_cycles} cycles",
+            f"persistent, depth honoured  : {self.healthy_measured} cycles",
+            f"persistent, compiled depth {self.compiled_depth}: "
+            f"{self.stale_measured} cycles (error {self.stale_error:+d} — stale)",
+            f"persistent, launch skew {self.launch_skew:3d} : "
+            f"{self.skewed_measured} cycles (error {self.skew_error:+d})",
+            f"HDL counter                 : {self.hdl_measured} cycles",
+        ])
+
+
+def _measure_persistent(gap: int, compiled_depth=None,
+                        launch_skews=None) -> int:
+    fabric = Fabric()
+    service = PersistentTimestampService(fabric, sites=2,
+                                         compiled_depth=compiled_depth,
+                                         launch_skews=launch_skews)
+    probe = _TwoSiteProbe(service.read_op, gap, "probe_persistent")
+    fabric.advance(compiled_depth or 0)  # let deep FIFOs fill, worst case
+    fabric.run_kernel(probe, {})
+    start, end = probe.pairs[0]
+    return end - start
+
+
+def _measure_hdl(gap: int) -> int:
+    fabric = Fabric()
+    service = HDLTimestampService(fabric)
+    probe = _TwoSiteProbe(lambda ctx, site: service.get_time(ctx, site), gap,
+                          "probe_hdl")
+    fabric.run_kernel(probe, {})
+    start, end = probe.pairs[0]
+    return end - start
+
+
+def run(gap_cycles: int = 40, compiled_depth: int = 16,
+        launch_skew: int = 25) -> LimitationsResult:
+    """Measure one event four ways: healthy, stale-depth, skewed, HDL."""
+    return LimitationsResult(
+        gap_cycles=gap_cycles,
+        healthy_measured=_measure_persistent(gap_cycles),
+        stale_measured=_measure_persistent(gap_cycles,
+                                           compiled_depth=compiled_depth),
+        compiled_depth=compiled_depth,
+        skewed_measured=_measure_persistent(gap_cycles,
+                                            launch_skews=[0, launch_skew]),
+        launch_skew=launch_skew,
+        hdl_measured=_measure_hdl(gap_cycles),
+    )

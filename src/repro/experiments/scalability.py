@@ -1,0 +1,90 @@
+"""§4 scalability: ibuffer cost as DEPTH and instance count scale.
+
+"The depth (or size) of an ibuffer can be controlled by changing the
+define DEPTH ... This makes ibuffer scalable, for both the depth of the
+trace buffer and the number of instances, while each instance can be
+controlled by a separate command channel."
+
+This experiment sweeps both axes through the synthesis model and reports
+the cost surface: memory bits grow linearly in DEPTH x N, RAM blocks
+follow the M20K packing, logic grows only with N (the state machine
+replicates; the storage does not add logic), and fmax is essentially flat
+in DEPTH (block RAM, not logic) while replication's fanout costs a little.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.stall_monitor import StallMonitor
+from repro.host.context import Context
+from repro.host.program import Program
+from repro.kernels.matmul import MatMulKernel
+from repro.synthesis.report import SynthesisReport
+
+#: The sweep grid: (instances N, DEPTH) pairs.
+DEPTHS = (256, 1024, 4096)
+COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class ScalabilityResult:
+    """Synthesis results over the (N, DEPTH) grid."""
+
+    grid: Dict[Tuple[int, int], SynthesisReport]
+
+    def row(self, count: int, depth: int) -> Dict[str, float]:
+        report = self.grid[(count, depth)]
+        return {
+            "fmax_mhz": round(report.fmax_mhz, 1),
+            "logic_alms": round(report.total.alms),
+            "memory_bits": round(report.total.memory_bits),
+            "ram_blocks": report.total.ram_blocks,
+        }
+
+    def render(self) -> str:
+        header = (f"{'N':>3s} {'DEPTH':>6s} {'fmax':>7s} {'ALMs':>8s} "
+                  f"{'MemBits':>10s} {'Blocks':>7s}")
+        lines = ["=== Section 4 scalability: ibuffer cost surface ===",
+                 header, "-" * len(header)]
+        for count in COUNTS:
+            for depth in DEPTHS:
+                if (count, depth) not in self.grid:
+                    continue
+                row = self.row(count, depth)
+                lines.append(f"{count:3d} {depth:6d} {row['fmax_mhz']:7.1f} "
+                             f"{row['logic_alms']:8d} {row['memory_bits']:10d} "
+                             f"{row['ram_blocks']:7d}")
+        return "\n".join(lines)
+
+    def bits_linear_in_depth(self, count: int) -> bool:
+        """Memory bits scale ~linearly with DEPTH at fixed N."""
+        rows = [self.grid[(count, depth)].total.memory_bits
+                for depth in DEPTHS if (count, depth) in self.grid]
+        if len(rows) < 3:
+            return True
+        base = self.grid[(count, DEPTHS[0])].total.memory_bits
+        deltas = [row - base for row in rows]
+        # Depth quadruples twice; the *instrument* bits must too.
+        return deltas[2] > 3.5 * deltas[1] > 0
+
+    def fmax_flat_in_depth(self, count: int, tolerance_pct: float = 1.0) -> bool:
+        """fmax varies under ``tolerance_pct`` across the DEPTH axis."""
+        rows = [self.grid[(count, depth)].fmax_mhz
+                for depth in DEPTHS if (count, depth) in self.grid]
+        return 100.0 * (max(rows) - min(rows)) / min(rows) < tolerance_pct
+
+
+def run(counts=COUNTS, depths=DEPTHS) -> ScalabilityResult:
+    """Synthesize the instrumented matmul across the (N, DEPTH) grid."""
+    grid: Dict[Tuple[int, int], SynthesisReport] = {}
+    for count in counts:
+        for depth in depths:
+            context = Context()
+            monitor = StallMonitor(context.fabric, sites=count, depth=depth)
+            kernel = MatMulKernel(stall_monitor=monitor)
+            program = Program(context, [kernel] + monitor.kernels(),
+                              name=f"sm_n{count}_d{depth}")
+            grid[(count, depth)] = program.synthesis_report()
+    return ScalabilityResult(grid=grid)

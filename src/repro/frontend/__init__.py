@@ -1,0 +1,25 @@
+"""Mini OpenCL-C frontend: run the paper's listings as source code."""
+
+from repro.frontend.compiler import (
+    CompiledAutorun,
+    CompiledNDRange,
+    CompiledProgram,
+    CompiledSingleTask,
+    compile_source,
+    extract_profile,
+)
+from repro.frontend.lexer import FrontendError, Token, tokenize
+from repro.frontend.parser import parse
+
+__all__ = [
+    "CompiledAutorun",
+    "CompiledNDRange",
+    "CompiledProgram",
+    "CompiledSingleTask",
+    "compile_source",
+    "extract_profile",
+    "FrontendError",
+    "Token",
+    "tokenize",
+    "parse",
+]

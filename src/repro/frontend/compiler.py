@@ -1,0 +1,310 @@
+"""Compiler: OpenCL-C source → kernels installed on a fabric.
+
+The frontend equivalent of ``aoc``: parses a program, declares its
+channels in the fabric namespace (honouring ``depth`` attributes), builds
+a :class:`~repro.pipeline.kernel.Kernel` object per kernel function —
+autorun kernels start immediately, as programming the device would — and
+statically extracts each kernel's resource profile for the synthesis
+model.
+
+Kernel dispatch mode follows AOCL semantics: a kernel that calls
+``get_global_id`` is an NDRange kernel (launch with ``__global_size`` in
+its args); anything else is a single task. Compiled single-task kernels
+execute their loop nests *serially* (the frontend is a correctness-level
+compiler, like the emulator); use the native Python-IR kernels when
+pipelined timing is the subject of study.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.interpreter import CHANNEL_BUILTINS, Interpreter
+from repro.frontend.lexer import FrontendError
+from repro.frontend.parser import parse
+from repro.frontend.preprocessor import preprocess
+from repro.hdl.library import HDLLibrary
+from repro.pipeline.fabric import Fabric
+from repro.pipeline.kernel import (
+    AutorunKernel,
+    NDRangeKernel,
+    PipelineConfig,
+    ResourceProfile,
+    SingleTaskKernel,
+)
+
+
+def _uses_global_id(node: Any) -> bool:
+    if isinstance(node, ast.Call) and node.func == "get_global_id":
+        return True
+    for field_name in getattr(node, "__dataclass_fields__", {}):
+        value = getattr(node, field_name)
+        children = value if isinstance(value, list) else [value]
+        for child in children:
+            if isinstance(child, ast.Node) and _uses_global_id(child):
+                return True
+            if isinstance(child, tuple):
+                for element in child:
+                    if isinstance(element, ast.Node) and _uses_global_id(element):
+                        return True
+    return False
+
+
+class _ProfileExtractor:
+    """Static resource analysis over a kernel's AST."""
+
+    def __init__(self) -> None:
+        self.profile = ResourceProfile(control_states=2)
+        self._store_targets: set = set()
+
+    def visit(self, node: Any) -> None:
+        if isinstance(node, ast.Assign) and isinstance(node.target, ast.Subscript):
+            self.profile.store_sites += 1
+            self._store_targets.add(id(node.target))
+        if isinstance(node, ast.Subscript):
+            # Heuristic: a subscript that is not a store target and whose
+            # base is a plain name is a candidate load site (channel-array
+            # subscripts are filtered by the zero-cost of being wrong here).
+            if id(node) not in self._store_targets and isinstance(
+                    node.base, ast.Name):
+                self.profile.load_sites += 1
+        if isinstance(node, ast.Binary):
+            if node.op in ("+", "-"):
+                self.profile.adders += 1
+            elif node.op == "*":
+                self.profile.multipliers += 1
+            else:
+                self.profile.logic_ops += 1
+        if isinstance(node, ast.IncDec) or (
+                isinstance(node, ast.Assign) and node.op in ("+=", "-=")):
+            self.profile.adders += 1
+        if isinstance(node, (ast.For, ast.While)):
+            self.profile.control_states += 4
+        if isinstance(node, ast.If):
+            self.profile.control_states += 2
+        if isinstance(node, ast.Call):
+            if node.func in CHANNEL_BUILTINS:
+                self.profile.channel_endpoints += 1
+            elif node.func not in ("get_global_id", "get_compute_id",
+                                   "get_global_size", "get_local_id",
+                                   "mem_fence"):
+                self.profile.hdl_modules += 1
+        for field_name in getattr(node, "__dataclass_fields__", {}):
+            value = getattr(node, field_name)
+            children = value if isinstance(value, list) else [value]
+            for child in children:
+                if isinstance(child, ast.Node):
+                    self.visit(child)
+                elif isinstance(child, tuple):
+                    for element in child:
+                        if isinstance(element, ast.Node):
+                            self.visit(element)
+
+
+def extract_profile(kernel_def: ast.KernelDef) -> ResourceProfile:
+    """Static per-compute-unit hardware content of one compiled kernel."""
+    extractor = _ProfileExtractor()
+    extractor.visit(kernel_def.body)
+    return extractor.profile
+
+
+def _collect_local_arrays(node: Any, defines: Dict[str, Any]) -> Dict[str, int]:
+    """All ``__local type name[size]`` declarations in a kernel body."""
+    found: Dict[str, int] = {}
+
+    def _walk(current: Any) -> None:
+        if isinstance(current, ast.Declaration) and current.is_local:
+            for name, _ in current.names:
+                size = current.array_sizes.get(name)
+                if size is None:
+                    raise FrontendError(
+                        f"__local variable {name!r} must be an array")
+                if isinstance(size, str):
+                    size = defines.get(size)
+                if not isinstance(size, int) or size < 1:
+                    raise FrontendError(
+                        f"__local array {name!r}: size must be a positive "
+                        "constant (or a define)")
+                found[name] = size
+        for field_name in getattr(current, "__dataclass_fields__", {}):
+            value = getattr(current, field_name)
+            children = value if isinstance(value, list) else [value]
+            for child in children:
+                if isinstance(child, ast.Node):
+                    _walk(child)
+    _walk(node)
+    return found
+
+
+class _CompiledMixin:
+    """Shared launch-time binding and execution for compiled kernels."""
+
+    def create_locals(self, fabric, compute_id: int) -> Dict[str, Any]:
+        """Instantiate this kernel's ``__local`` arrays as block RAM."""
+        from repro.memory.local_memory import LocalMemory
+
+        return {name: LocalMemory(fabric.sim,
+                                  f"{self.name}.cu{compute_id}.{name}", size)
+                for name, size in self._local_arrays.items()}
+
+    def _bindings(self, ctx) -> Dict[str, Any]:
+        bindings: Dict[str, Any] = {}
+        for parameter in self._definition.parameters:
+            if parameter.type_name == "void":
+                continue
+            try:
+                value = ctx.args[parameter.name]
+            except KeyError:
+                raise FrontendError(
+                    f"kernel {self.name!r}: missing argument "
+                    f"{parameter.name!r}") from None
+            if parameter.is_global_pointer and not isinstance(value, str):
+                raise FrontendError(
+                    f"kernel {self.name!r}: argument {parameter.name!r} is a "
+                    "__global pointer; pass a buffer name")
+            bindings[parameter.name] = value
+        bindings.update(self._defines)
+        bindings.update(self._channel_bindings)
+        return bindings
+
+    def body(self, ctx):
+        interpreter = Interpreter(self.name, self._hdl_modules,
+                                  autorun=self.kind == "autorun")
+        return interpreter.run(self._definition.body, ctx, self._bindings(ctx))
+
+    def resource_profile(self) -> ResourceProfile:
+        return extract_profile(self._definition)
+
+
+class CompiledSingleTask(_CompiledMixin, SingleTaskKernel):
+    """A compiled single-task kernel: the whole function is one serialized
+    iteration (correctness-level execution)."""
+
+    def __init__(self, definition, channel_bindings, hdl_modules,
+                 defines=None) -> None:
+        super().__init__(name=definition.name,
+                         pipeline=PipelineConfig(ii=1, max_inflight=1))
+        self._definition = definition
+        self._channel_bindings = channel_bindings
+        self._hdl_modules = hdl_modules
+        self._defines = dict(defines or {})
+        self._local_arrays = _collect_local_arrays(definition.body,
+                                                   self._defines)
+
+    def iteration_space(self, args) -> List[int]:
+        return [0]
+
+
+class CompiledNDRange(_CompiledMixin, NDRangeKernel):
+    """A compiled NDRange kernel: one iteration per work-item.
+
+    Launch with ``{"__global_size": N, ...}``. Work-items pipeline with
+    II=1; any loop inside the work-item executes serially within it.
+    """
+
+    def __init__(self, definition, channel_bindings, hdl_modules,
+                 defines=None) -> None:
+        super().__init__(name=definition.name)
+        self._definition = definition
+        self._channel_bindings = channel_bindings
+        self._hdl_modules = hdl_modules
+        self._defines = dict(defines or {})
+        self._local_arrays = _collect_local_arrays(definition.body,
+                                                   self._defines)
+
+    def global_size(self, args) -> int:
+        try:
+            return int(args["__global_size"])
+        except KeyError:
+            raise FrontendError(
+                f"NDRange kernel {self.name!r} needs '__global_size' in its "
+                "launch args") from None
+
+    def trip_count(self, args) -> int:
+        return 1
+
+
+class CompiledAutorun(_CompiledMixin, AutorunKernel):
+    """A compiled autorun kernel (Listings 1, 5, 8)."""
+
+    def __init__(self, definition, channel_bindings, hdl_modules,
+                 defines=None, phase: str = "early") -> None:
+        super().__init__(name=definition.name,
+                         num_compute_units=definition.num_compute_units,
+                         phase=phase)
+        self._definition = definition
+        self._channel_bindings = channel_bindings
+        self._hdl_modules = hdl_modules
+        self._defines = dict(defines or {})
+        self._local_arrays = _collect_local_arrays(definition.body,
+                                                   self._defines)
+
+
+class CompiledProgram:
+    """A compiled ``.cl`` program bound to one fabric."""
+
+    def __init__(self, fabric: Fabric, source: str,
+                 hdl_library: Optional[HDLLibrary] = None,
+                 autorun_args: Optional[Dict[str, Dict[str, Any]]] = None,
+                 start_autorun: bool = True,
+                 defines: Optional[Dict[str, int]] = None) -> None:
+        self.fabric = fabric
+        expanded, self.macros = preprocess(source)
+        self.ast = parse(expanded)
+        self.defines = dict(defines or {})
+        self._hdl_modules: Dict[str, Any] = {}
+        if hdl_library is not None:
+            for module in hdl_library.modules():
+                self._hdl_modules[module.name] = module
+
+        # Channel declarations (file scope) go into the fabric namespace.
+        self._channel_bindings: Dict[str, Any] = {}
+        for declaration in self.ast.channels:
+            depth = declaration.depth
+            depth = 1 if depth is None else depth
+            if declaration.count is None:
+                channel = fabric.channels.declare(declaration.name, depth=depth)
+                self._channel_bindings[declaration.name] = channel
+            else:
+                array = fabric.channels.declare_array(
+                    declaration.name, declaration.count, depth=depth)
+                self._channel_bindings[declaration.name] = array
+
+        self.kernels: Dict[str, Any] = {}
+        for definition in self.ast.kernels:
+            if definition.is_autorun:
+                kernel = CompiledAutorun(definition, self._channel_bindings,
+                                         self._hdl_modules, self.defines)
+            elif _uses_global_id(definition.body):
+                kernel = CompiledNDRange(definition, self._channel_bindings,
+                                         self._hdl_modules, self.defines)
+            else:
+                kernel = CompiledSingleTask(definition, self._channel_bindings,
+                                            self._hdl_modules, self.defines)
+            self.kernels[definition.name] = kernel
+
+        if start_autorun:
+            for kernel in self.kernels.values():
+                if isinstance(kernel, CompiledAutorun):
+                    args = (autorun_args or {}).get(kernel.name, {})
+                    fabric.add_autorun(kernel, args)
+
+    def kernel(self, name: str):
+        try:
+            return self.kernels[name]
+        except KeyError:
+            raise FrontendError(
+                f"no kernel named {name!r}; program defines "
+                f"{sorted(self.kernels)}") from None
+
+    def channel(self, name: str):
+        try:
+            return self._channel_bindings[name]
+        except KeyError:
+            raise FrontendError(f"no channel named {name!r}") from None
+
+
+def compile_source(fabric: Fabric, source: str, **kwargs) -> CompiledProgram:
+    """Convenience wrapper: ``aoc`` for the simulated fabric."""
+    return CompiledProgram(fabric, source, **kwargs)

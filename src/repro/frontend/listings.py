@@ -1,0 +1,291 @@
+"""The paper's code listings, reconstructed as compilable source.
+
+The DAC'17 paper presents its framework as OpenCL source (Listings 1-11).
+This module ships clean reconstructions — whitespace restored from the
+OCR'd text, semantics unchanged — so tests and examples can compile and
+run the paper's own code through :mod:`repro.frontend`.
+
+Listings 3-4 involve the HDL library (``get_time``); pass an
+:class:`~repro.hdl.library.HDLLibrary` with a registered ``get_time``
+module when compiling them. Listing 8 is the generic ibuffer body; the
+runnable reconstruction below specializes it to a raw-recording instance
+with the Figure 3 state machine, a linear trace buffer in a private
+array, and the Listing 10 readout protocol.
+"""
+
+from __future__ import annotations
+
+#: Listing 1 — the timestamp pattern using a persistent autorun kernel.
+LISTING_1 = """
+channel int time_ch1 __attribute__((depth(0)));
+
+__attribute__((autorun))
+__kernel void timer_srv(void) {
+    int count = 0;
+    while (1) {
+        bool success;
+        count++;
+        success = write_channel_nb_altera(time_ch1, count);
+    }
+}
+"""
+
+#: Listing 2 — read site(s) of the timestamp around a dot product.
+LISTING_2 = """
+channel int time_ch1 __attribute__((depth(0)));
+channel int time_ch2 __attribute__((depth(0)));
+
+__attribute__((autorun))
+__kernel void timer_srv1(void) {
+    int count = 0;
+    while (1) {
+        bool success;
+        count++;
+        success = write_channel_nb_altera(time_ch1, count);
+    }
+}
+
+__attribute__((autorun))
+__kernel void timer_srv2(void) {
+    int count = 0;
+    while (1) {
+        bool success;
+        count++;
+        success = write_channel_nb_altera(time_ch2, count);
+    }
+}
+
+__kernel void dot_product(__global int* x, __global int* y,
+                          __global int* z, __global int* times, int n) {
+    int start_t, end_t;
+    start_t = read_channel_altera(time_ch1);    // Read site 1
+    int sum = 0;                                 // Event of interest
+    for (int i = 0; i < n; i++) {
+        sum += x[i] * y[i];
+    }
+    z[0] = sum;
+    end_t = read_channel_altera(time_ch2);      // Read site 2
+    times[0] = start_t;
+    times[1] = end_t;
+}
+"""
+
+#: Listing 4 — the HDL-counter read sites (compile with a get_time library).
+LISTING_4 = """
+__kernel void dot_product(__global int* x, __global int* y,
+                          __global int* z, __global int* times, int n) {
+    int start_t, end_t;
+    int sum = 0;
+    start_t = get_time(sum);                    // read site 1
+    for (int i = 0; i < n; i++) {               // event of interest
+        sum += x[i] * y[i];
+    }
+    z[0] = sum;
+    end_t = get_time(sum);                      // read site 2
+    times[0] = start_t;
+    times[1] = end_t;
+}
+"""
+
+#: Listing 5 — the sequence-number persistent kernel.
+LISTING_5 = """
+channel int seq_ch __attribute__((depth(0)));
+
+__attribute__((autorun))
+__kernel void seq_srv(void) {
+    int count = 0;
+    while (1) {
+        count++;
+        write_channel_altera(seq_ch, count);
+    }
+}
+"""
+
+#: Listing 6 — the instrumented single-task matrix-vector multiply.
+LISTING_6 = """
+channel int seq_ch __attribute__((depth(0)));
+channel int time_ch1 __attribute__((depth(0)));
+
+__attribute__((autorun))
+__kernel void seq_srv(void) {
+    int count = 0;
+    while (1) {
+        count++;
+        write_channel_altera(seq_ch, count);
+    }
+}
+
+__attribute__((autorun))
+__kernel void timer_srv(void) {
+    int count = 0;
+    while (1) {
+        bool success;
+        count++;
+        success = write_channel_nb_altera(time_ch1, count);
+    }
+}
+
+__kernel void matvec(__global int* x, __global int* y, __global int* z,
+                     __global int* info1, __global int* info2,
+                     __global int* info3, int n, int num) {
+    for (int k = 0; k < n; k++) {
+        int l = k * num;
+        int sum = 0;
+        for (int i = 0; i < num; i++) {
+            sum += x[i + l] * y[i];
+            if (i < 10) {
+                int seq = read_channel_altera(seq_ch);
+                info1[seq] = read_channel_altera(time_ch1);
+                info2[seq] = k;
+                info3[seq] = i;
+            }
+        }
+        z[k] = sum;
+    }
+}
+"""
+
+#: Listings 6+7 share this instrumentation; Listing 7's NDRange form.
+LISTING_7 = """
+channel int seq_ch __attribute__((depth(0)));
+channel int time_ch1 __attribute__((depth(0)));
+
+__attribute__((autorun))
+__kernel void seq_srv(void) {
+    int count = 0;
+    while (1) {
+        count++;
+        write_channel_altera(seq_ch, count);
+    }
+}
+
+__attribute__((autorun))
+__kernel void timer_srv(void) {
+    int count = 0;
+    while (1) {
+        bool success;
+        count++;
+        success = write_channel_nb_altera(time_ch1, count);
+    }
+}
+
+__kernel void matvec(__global int* x, __global int* y, __global int* z,
+                     __global int* info1, __global int* info2,
+                     __global int* info3, int num) {
+    int k = get_global_id(0);
+    int l = k * num;
+    int sum = 0;
+    for (int i = 0; i < num; i++) {
+        sum += x[i + l] * y[i];
+        if (i < 10) {
+            int seq = read_channel_altera(seq_ch);
+            info1[seq] = read_channel_altera(time_ch1);
+            info2[seq] = k;
+            info3[seq] = i;
+        }
+    }
+    z[k] = sum;
+}
+"""
+
+#: Listing 8 (specialized) + Listing 10 — a runnable raw-recording ibuffer
+#: with the Figure 3 state machine and the host readout protocol, written
+#: entirely in the OpenCL-C subset. Compile with defines RESET/SAMPLE/
+#: STOP/READ/DEPTH (see :data:`LISTING_8_DEFINES`).
+LISTING_8_IBUFFER = """
+channel int cmd_c __attribute__((depth(4)));
+channel int data_in __attribute__((depth(8)));
+channel int out_c __attribute__((depth(2)));
+channel int time_ch __attribute__((depth(0)));
+
+__attribute__((autorun))
+__kernel void timer_srv(void) {
+    int count = 0;
+    while (1) {
+        bool success;
+        count++;
+        success = write_channel_nb_altera(time_ch, count);
+    }
+}
+
+__attribute__((autorun))
+__kernel void state_machine(void) {
+    int state = SAMPLE;
+    int trace_ts[DEPTH];
+    int trace_val[DEPTH];
+    int wr = 0;
+    int rd = 0;
+    while (1) {
+        bool r;
+        bool r_valid;
+        int take_stamp = read_channel_nb_altera(data_in, &r);
+        int next_state = read_channel_nb_altera(cmd_c, &r_valid);
+        if (r_valid) {
+            switch (next_state) {
+                case RESET:
+                    state = RESET;
+                    wr = 0;
+                    rd = 0;
+                    break;
+                case STOP:
+                    if (state == SAMPLE) state = STOP;
+                    break;
+                case SAMPLE:
+                    if (state != READ) state = SAMPLE;
+                    break;
+                case READ:
+                    if (state != RESET) {
+                        state = READ;
+                        rd = 0;
+                    }
+                    break;
+                default:
+                    break;
+            }
+        }
+        if (state == SAMPLE && r) {
+            if (wr < DEPTH) {
+                bool ts_ok;
+                trace_ts[wr] = read_channel_nb_altera(time_ch, &ts_ok);
+                trace_val[wr] = take_stamp;
+                wr++;
+            }
+        }
+        if (state == READ) {
+            if (rd < DEPTH) {
+                bool pushed;
+                pushed = write_channel_nb_altera(out_c, trace_val[rd]);
+                if (pushed) rd++;
+            } else {
+                state = STOP;
+            }
+        }
+    }
+}
+
+__kernel void read_host(int cmd, __global int* output) {
+    write_channel_altera(cmd_c, cmd);
+    if (cmd == READ) {
+        for (int k = 0; k < DEPTH; k++) {
+            output[k] = read_channel_altera(out_c);
+        }
+    }
+}
+"""
+
+#: The defines LISTING_8_IBUFFER needs (Figure 3 states + the DEPTH define).
+LISTING_8_DEFINES = {"RESET": 0, "SAMPLE": 1, "STOP": 2, "READ": 3,
+                     "DEPTH": 16}
+
+#: All reconstructed listings by number (9/11 use framework calls that are
+#: host-assembled in this reproduction; see repro.core.stall_monitor /
+#: repro.core.watchpoint for their faithful implementations).
+ALL_LISTINGS = {
+    1: LISTING_1,
+    2: LISTING_2,
+    4: LISTING_4,
+    5: LISTING_5,
+    6: LISTING_6,
+    7: LISTING_7,
+    8: LISTING_8_IBUFFER,
+}

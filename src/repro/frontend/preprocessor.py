@@ -1,0 +1,70 @@
+"""Minimal C preprocessor: object-like ``#define`` and ``#undef``.
+
+Exactly what the paper's listings need — Listing 10 opens with::
+
+    #define N 10        // iBuffer Count
+    #define DEPTH 1024  // Trace buffer depth
+
+Function-like macros, conditionals, and includes are out of scope (the
+listings use none); encountering them is an explicit error rather than a
+silent misparse.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from repro.frontend.lexer import FrontendError
+
+_DEFINE_RE = re.compile(
+    r"^\s*#\s*define\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?P<paren>\()?\s*(?P<value>.*?)\s*$")
+_UNDEF_RE = re.compile(r"^\s*#\s*undef\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*$")
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def preprocess(source: str,
+               predefined: Dict[str, str] = None) -> Tuple[str, Dict[str, str]]:
+    """Expand object-like macros; returns (expanded_source, macro_table).
+
+    Macro values are substituted textually (token-boundary aware) in all
+    lines after their definition. Directive lines are blanked (preserving
+    line numbers for diagnostics).
+    """
+    macros: Dict[str, str] = dict(predefined or {})
+    output_lines = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            match = _DEFINE_RE.match(line)
+            if match:
+                if match.group("paren"):
+                    raise FrontendError(
+                        f"line {line_number}: function-like macros are not "
+                        "supported")
+                value = match.group("value")
+                comment = value.find("//")
+                if comment >= 0:
+                    value = value[:comment].rstrip()
+                # Expand earlier macros inside the value so chained
+                # defines resolve fully at use sites.
+                value = _WORD_RE.sub(
+                    lambda m: macros.get(m.group(0), m.group(0)), value)
+                macros[match.group("name")] = value
+                output_lines.append("")
+                continue
+            if _UNDEF_RE.match(line):
+                macros.pop(_UNDEF_RE.match(line).group("name"), None)
+                output_lines.append("")
+                continue
+            raise FrontendError(
+                f"line {line_number}: unsupported preprocessor directive "
+                f"{stripped.split()[0]!r}")
+        if macros:
+            def _expand(match: re.Match) -> str:
+                word = match.group(0)
+                return macros.get(word, word)
+            line = _WORD_RE.sub(_expand, line)
+        output_lines.append(line)
+    return "\n".join(output_lines), macros

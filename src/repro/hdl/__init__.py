@@ -1,0 +1,7 @@
+"""HDL library integration model (Verilog modules callable from OpenCL)."""
+
+from repro.hdl.counter import GetTimeModule
+from repro.hdl.library import HDLLibrary
+from repro.hdl.module import HDLModule, MODES
+
+__all__ = ["GetTimeModule", "HDLLibrary", "HDLModule", "MODES"]

@@ -1,0 +1,56 @@
+"""HDL library packaging: named module collections linked into a design.
+
+Mirrors the AOCL library flow where the ``.h`` / ``.cl`` / ``.v`` triple is
+"encapsulated in a library to be integrated during the OpenCL compilation"
+(§3.1). Designs reference modules by name; the synthesis model charges
+their resource profiles to the kernels that embed them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import HDLError
+from repro.hdl.counter import GetTimeModule
+from repro.hdl.module import HDLModule
+from repro.sim.core import Simulator
+
+
+class HDLLibrary:
+    """A collection of HDL modules available to kernels on one fabric."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._modules: Dict[str, HDLModule] = {}
+
+    def register(self, module: HDLModule) -> HDLModule:
+        """Add a module; duplicate names are an error."""
+        if module.name in self._modules:
+            raise HDLError(f"HDL module {module.name!r} registered twice")
+        self._modules[module.name] = module
+        return module
+
+    def get(self, name: str) -> HDLModule:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise HDLError(f"no HDL module named {name!r} in library") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._modules
+
+    def modules(self) -> List[HDLModule]:
+        return list(self._modules.values())
+
+    def add_get_time(self, name: str = "get_time", start_offset: int = 0,
+                     mode: str = "synthesis") -> GetTimeModule:
+        """Convenience: register a free-running-counter timestamp module."""
+        return self.register(GetTimeModule(self.sim, name=name,
+                                           start_offset=start_offset, mode=mode))
+
+    def set_mode(self, mode: str) -> None:
+        """Switch every module between 'synthesis' and 'emulation'."""
+        for module in self._modules.values():
+            if mode not in ("synthesis", "emulation"):
+                raise HDLError(f"unknown mode {mode!r}")
+            module.mode = mode

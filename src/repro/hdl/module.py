@@ -1,0 +1,69 @@
+"""HDL library modules callable from OpenCL kernels.
+
+§3.1's second timestamp approach packages a Verilog free-running counter as
+an OpenCL-callable library function: "The function defined in OpenCL ...
+is used for emulation while the actual implementation for synthesis is
+defined in a Verilog module. All such information is encapsulated in a
+library to be integrated during the OpenCL compilation" (Listing 3).
+
+:class:`HDLModule` mirrors that dual definition: :meth:`emulate` is the
+OpenCL stub the emulator runs; :meth:`synthesize_behavior` is the cycle
+behaviour of the Verilog implementation. Which one executes is selected by
+the module's ``mode`` — exactly like compiling for emulation vs hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Tuple
+
+from repro.errors import HDLError
+from repro.pipeline.kernel import ResourceProfile
+from repro.sim.core import Simulator
+
+#: Execution modes matching the two compilation targets.
+MODES = ("synthesis", "emulation")
+
+
+class HDLModule:
+    """One library module with emulation and synthesis definitions."""
+
+    def __init__(self, sim: Simulator, name: str, latency: int = 0,
+                 mode: str = "synthesis") -> None:
+        if latency < 0:
+            raise HDLError(f"module {name!r}: latency must be >= 0")
+        if mode not in MODES:
+            raise HDLError(f"module {name!r}: mode must be one of {MODES}")
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.mode = mode
+        self.invocations = 0
+
+    # -- the two definitions --------------------------------------------
+
+    def emulate(self, *args: Any) -> Any:
+        """The OpenCL emulation stub (functional only, no timing)."""
+        raise NotImplementedError(f"module {self.name!r} must define emulate()")
+
+    def synthesize_behavior(self, *args: Any) -> Any:
+        """Value produced by the synthesized hardware this cycle."""
+        raise NotImplementedError(
+            f"module {self.name!r} must define synthesize_behavior()")
+
+    # -- engine hook ------------------------------------------------------
+
+    def invoke(self, args: Tuple[Any, ...]) -> Generator:
+        """Called by the pipeline engine for a ``Call`` op (generator)."""
+        self.invocations += 1
+        if self.latency:
+            yield self.sim.timeout(self.latency)
+        if self.mode == "emulation":
+            return self.emulate(*args)
+        return self.synthesize_behavior(*args)
+
+    def resource_profile(self) -> ResourceProfile:
+        """Hardware content contributed when embedded into a kernel."""
+        return ResourceProfile(hdl_modules=1, extra_registers=8)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HDLModule {self.name!r} mode={self.mode} latency={self.latency}>"

@@ -1,0 +1,21 @@
+"""Mini OpenCL host runtime mapped onto the simulated fabric."""
+
+from repro.host.buffer import Buffer
+from repro.host.context import Context
+from repro.host.device import Device, Platform, default_device, get_platforms
+from repro.host.event import EventStatus, HostEvent
+from repro.host.program import Program
+from repro.host.queue import CommandQueue
+
+__all__ = [
+    "Buffer",
+    "Context",
+    "Device",
+    "Platform",
+    "default_device",
+    "get_platforms",
+    "EventStatus",
+    "HostEvent",
+    "Program",
+    "CommandQueue",
+]

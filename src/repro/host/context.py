@@ -1,0 +1,58 @@
+"""Contexts: one programmed device + its resources (cl_context equivalent)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import HostAPIError
+from repro.hdl.library import HDLLibrary
+from repro.host.buffer import Buffer
+from repro.host.device import Device, default_device
+from repro.pipeline.fabric import Fabric
+
+
+class Context:
+    """Owns the fabric (the programmed image) and device buffers."""
+
+    def __init__(self, device: Optional[Device] = None) -> None:
+        self.device = device or default_device()
+        self.fabric = Fabric(memory_config=self.device.memory_config)
+        self.hdl_library = HDLLibrary(self.fabric.sim)
+        self._buffers: Dict[str, Buffer] = {}
+
+    def create_buffer(self, name: str, size: int, dtype: str = "int64") -> Buffer:
+        """Allocate a device buffer (clCreateBuffer)."""
+        if name in self._buffers:
+            raise HostAPIError(f"buffer {name!r} already exists in this context")
+        store = self.fabric.memory.allocate(name, size, dtype=dtype)
+        buffer = Buffer(self, store)
+        self._buffers[name] = buffer
+        return buffer
+
+    def buffer(self, name: str) -> Buffer:
+        """Look up a previously created buffer by name."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise HostAPIError(f"no buffer named {name!r} in this context") from None
+
+    def compile(self, source: str, **kwargs):
+        """Compile OpenCL-C source onto this context's device.
+
+        The host-API equivalent of ``clCreateProgramWithSource`` + build:
+        channels are declared, autorun kernels start, and the returned
+        :class:`~repro.frontend.compiler.CompiledProgram` resolves kernels
+        by name for enqueueing. The context's HDL library is linked in.
+        """
+        from repro.frontend.compiler import CompiledProgram
+
+        kwargs.setdefault("hdl_library", self.hdl_library)
+        return CompiledProgram(self.fabric, source, **kwargs)
+
+    @property
+    def sim(self):
+        """The underlying simulator (the device clock)."""
+        return self.fabric.sim
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Context on {self.device.name!r}>"

@@ -1,0 +1,54 @@
+"""Devices and platforms (cl_device_id / cl_platform_id equivalents)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.memory.global_memory import GlobalMemoryConfig
+from repro.synthesis.resources import (
+    ARRIA_10,
+    ARRIA_10_INTEGRATED,
+    DeviceModel,
+    STRATIX_V,
+)
+
+
+class Device:
+    """One FPGA board: a device model + its memory-system timing."""
+
+    def __init__(self, model: DeviceModel,
+                 memory_config: Optional[GlobalMemoryConfig] = None) -> None:
+        self.model = model
+        self.memory_config = memory_config or GlobalMemoryConfig()
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Device {self.name!r}>"
+
+
+class Platform:
+    """A vendor platform exposing its boards (§2's three platforms)."""
+
+    def __init__(self, name: str, devices: List[Device]) -> None:
+        self.name = name
+        self.devices = devices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Platform {self.name!r} ({len(self.devices)} devices)>"
+
+
+def get_platforms() -> List[Platform]:
+    """Enumerate the simulated platforms (clGetPlatformIDs)."""
+    return [Platform("repro OpenCL-for-FPGA (simulated AOCL)", [
+        Device(STRATIX_V),
+        Device(ARRIA_10),
+        Device(ARRIA_10_INTEGRATED),
+    ])]
+
+
+def default_device() -> Device:
+    """The Stratix V board the paper mainly reports."""
+    return get_platforms()[0].devices[0]

@@ -1,0 +1,51 @@
+"""Host events: completion + profiling info (cl_event equivalent)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+from repro.errors import HostAPIError
+from repro.pipeline.engine import EngineStats
+
+
+class EventStatus(IntEnum):
+    """Mirrors the OpenCL execution-status ladder."""
+
+    QUEUED = 3
+    SUBMITTED = 2
+    RUNNING = 1
+    COMPLETE = 0
+
+
+class HostEvent:
+    """Tracks one enqueued command through the queue."""
+
+    def __init__(self, description: str) -> None:
+        self.description = description
+        self.status = EventStatus.QUEUED
+        self.queued_cycle: Optional[int] = None
+        self.start_cycle: Optional[int] = None
+        self.end_cycle: Optional[int] = None
+        self.stats: Optional[EngineStats] = None
+
+    @property
+    def is_complete(self) -> bool:
+        return self.status == EventStatus.COMPLETE
+
+    def profiling_info(self) -> dict:
+        """The clGetEventProfilingInfo equivalent (cycles, not ns)."""
+        if not self.is_complete:
+            raise HostAPIError(
+                f"profiling info unavailable: {self.description!r} is "
+                f"{self.status.name}")
+        return {
+            "queued": self.queued_cycle,
+            "start": self.start_cycle,
+            "end": self.end_cycle,
+            "duration": (self.end_cycle - self.start_cycle
+                         if self.start_cycle is not None else None),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HostEvent {self.description!r} {self.status.name}>"

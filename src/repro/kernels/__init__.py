@@ -1,0 +1,50 @@
+"""Kernels used in the paper's evaluation (plus a vecadd smoke kernel)."""
+
+from repro.kernels.dot_product import DotProductKernel
+from repro.kernels.matmul import MatMulKernel, allocate_matmul_buffers, expected_matmul
+from repro.kernels.matvec import (
+    MatVecNDRange,
+    MatVecSingleTask,
+    allocate_matvec_buffers,
+    expected_matvec,
+)
+from repro.kernels.fir import (
+    FIRKernel,
+    StreamReaderKernel,
+    StreamWriterKernel,
+    build_fir_pipeline,
+    expected_fir,
+    run_fir,
+)
+from repro.kernels.pointer_chase import PointerChaseKernel, build_chain
+from repro.kernels.spmv import (
+    SpMVKernel,
+    allocate_spmv_buffers,
+    expected_spmv,
+    random_csr,
+)
+from repro.kernels.vecadd import VecAddKernel
+
+__all__ = [
+    "FIRKernel",
+    "StreamReaderKernel",
+    "StreamWriterKernel",
+    "build_fir_pipeline",
+    "expected_fir",
+    "run_fir",
+    "SpMVKernel",
+    "allocate_spmv_buffers",
+    "expected_spmv",
+    "random_csr",
+    "DotProductKernel",
+    "MatMulKernel",
+    "allocate_matmul_buffers",
+    "expected_matmul",
+    "MatVecNDRange",
+    "MatVecSingleTask",
+    "allocate_matvec_buffers",
+    "expected_matvec",
+    "PointerChaseKernel",
+    "build_chain",
+    "VecAddKernel",
+]

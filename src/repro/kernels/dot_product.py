@@ -1,0 +1,91 @@
+"""Vector dot-product kernel with timestamp read sites (Listings 2 and 4).
+
+The "event of interest" is the accumulation loop of one dot product; read
+site 1 precedes it and read site 2 follows it, so ``end_t - start_t`` is
+the event's latency. Both timestamp implementations are supported:
+
+* ``timestamps="persistent"`` — Listing 2: two depth-0 channels fed by two
+  persistent counter kernels (one kernel per channel);
+* ``timestamps="hdl"`` — Listing 4: ``get_time(sum)`` calls whose operand
+  creates the scheduling dependency;
+* ``timestamps=None`` — the un-instrumented baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.timestamp import HDLTimestampService, PersistentTimestampService
+from repro.errors import KernelArgumentError
+from repro.pipeline.kernel import ResourceProfile, SingleTaskKernel
+
+_MODES = (None, "persistent", "hdl")
+
+
+class DotProductKernel(SingleTaskKernel):
+    """``z = x . y`` with optional start/end timestamp read sites.
+
+    Args (per launch): ``n`` — vector length.
+    Results: ``z[0]`` — the dot product; measured (start, end) timestamp
+    pairs accumulate in :attr:`measurements`.
+    """
+
+    def __init__(self, timestamps: Optional[str] = None,
+                 persistent: Optional[PersistentTimestampService] = None,
+                 hdl: Optional[HDLTimestampService] = None,
+                 name: str = "dot_product") -> None:
+        super().__init__(name=name)
+        if timestamps not in _MODES:
+            raise KernelArgumentError(
+                f"timestamps must be one of {_MODES}, got {timestamps!r}")
+        if timestamps == "persistent" and persistent is None:
+            raise KernelArgumentError(
+                "timestamps='persistent' needs a PersistentTimestampService "
+                "with two sites")
+        if timestamps == "hdl" and hdl is None:
+            raise KernelArgumentError("timestamps='hdl' needs an HDLTimestampService")
+        self.timestamps = timestamps
+        self.persistent = persistent
+        self.hdl = hdl
+        #: Host-visible measurements: (start_t, end_t) per launch.
+        self.measurements: List[Tuple[int, int]] = []
+        self._starts: List[int] = []
+
+    def iteration_space(self, args: Dict) -> range:
+        return range(args["n"])
+
+    def body(self, ctx):
+        i = ctx.iteration
+        n = ctx.arg("n")
+        start_t = end_t = None
+        if i == 0:
+            # Read site 1 (before the event of interest).
+            if self.timestamps == "persistent":
+                start_t = yield self.persistent.read_op(ctx, 0)
+            elif self.timestamps == "hdl":
+                start_t = yield self.hdl.get_time(ctx, 0)
+        xv = yield ctx.load("x", i)
+        yv = yield ctx.load("y", i)
+        ctx.accumulate("sum", 0, xv * yv)
+        if i == n - 1:
+            total = yield ctx.collect("sum", 0, expected=n)
+            yield ctx.store("z", 0, total)
+            # Read site 2 (after the event of interest). The HDL form
+            # passes the live value to pin the site (Listing 4).
+            if self.timestamps == "persistent":
+                end_t = yield self.persistent.read_op(ctx, 1)
+            elif self.timestamps == "hdl":
+                end_t = yield self.hdl.get_time(ctx, total)
+        if i == 0 and start_t is not None:
+            self._starts.append(start_t)
+        if end_t is not None:
+            self.measurements.append((self._starts.pop(0), end_t))
+
+    def resource_profile(self) -> ResourceProfile:
+        profile = ResourceProfile(load_sites=2, store_sites=1, adders=2,
+                                  multipliers=1, logic_ops=3, control_states=4)
+        if self.timestamps == "persistent":
+            profile = profile.merged(ResourceProfile(channel_endpoints=2))
+        elif self.timestamps == "hdl":
+            profile = profile.merged(self.hdl.resource_profile())
+        return profile

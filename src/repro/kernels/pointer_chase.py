@@ -1,0 +1,107 @@
+"""Pointer-chasing kernel (§3.1's frequency-overhead workload).
+
+Each step loads the next index from the current one (``idx = ptr[idx]``) —
+an unbreakable load-to-address dependency. Two consequences the paper
+reports, both modelled here:
+
+* the kernel's fmax is capped by that intrinsic path, so the fitter's
+  retiming cannot help (``intrinsic_path_ns`` in the resource profile),
+  and adding instrumentation costs **less than 3%** frequency (§3.1);
+* execution is fully serialized: every load's latency is exposed, which
+  makes it the ideal stress test for timestamp accuracy.
+
+The kernel optionally timestamps each dereference with either pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.timestamp import HDLTimestampService, PersistentTimestampService
+from repro.errors import KernelArgumentError
+from repro.pipeline.kernel import ResourceProfile, SingleTaskKernel
+
+_MODES = (None, "persistent", "hdl")
+
+
+class PointerChaseKernel(SingleTaskKernel):
+    """Chase ``steps`` pointers starting at ``start``; result in ``out[0]``.
+
+    Args per launch: ``start``, ``steps``.
+    Buffers: ``ptr`` (the linked structure), ``out`` (1 element).
+    """
+
+    def __init__(self, timestamps: Optional[str] = None,
+                 persistent: Optional[PersistentTimestampService] = None,
+                 hdl: Optional[HDLTimestampService] = None,
+                 name: str = "pointer_chase") -> None:
+        super().__init__(name=name)
+        if timestamps not in _MODES:
+            raise KernelArgumentError(
+                f"timestamps must be one of {_MODES}, got {timestamps!r}")
+        if timestamps == "persistent" and persistent is None:
+            raise KernelArgumentError("timestamps='persistent' needs the service")
+        if timestamps == "hdl" and hdl is None:
+            raise KernelArgumentError("timestamps='hdl' needs the service")
+        self.timestamps = timestamps
+        self.persistent = persistent
+        self.hdl = hdl
+        #: Per-dereference timestamps observed by the instrumentation.
+        self.step_stamps: List[int] = []
+
+    def iteration_space(self, args: Dict) -> List[int]:
+        # The chase is one serialized task; the loop lives inside the body
+        # because each trip depends on the previous load's value.
+        return [0]
+
+    def body(self, ctx):
+        index = ctx.arg("start")
+        steps = ctx.arg("steps")
+        for _ in range(steps):
+            if self.timestamps == "persistent":
+                stamp = yield self.persistent.read_op(ctx, 0)
+                self.step_stamps.append(stamp)
+            elif self.timestamps == "hdl":
+                stamp = yield self.hdl.get_time(ctx, index)
+                self.step_stamps.append(stamp)
+            index = yield ctx.load("ptr", index)
+        yield ctx.store("out", 0, index)
+
+    def resource_profile(self) -> ResourceProfile:
+        profile = ResourceProfile(
+            load_sites=1, store_sites=1, adders=2, logic_ops=6,
+            control_states=8,
+            # The load-to-address feedback path retiming cannot break.
+            intrinsic_path_ns=0.87,
+        )
+        if self.timestamps == "persistent":
+            profile = profile.merged(ResourceProfile(channel_endpoints=2))
+        elif self.timestamps == "hdl":
+            profile = profile.merged(self.hdl.resource_profile())
+        return profile
+
+
+def build_chain(size: int, stride: int = 7, seed: Optional[int] = None) -> np.ndarray:
+    """A permutation chain covering all ``size`` slots.
+
+    With ``seed`` None a deterministic stride pattern is used (stride must
+    be coprime with size); otherwise a seeded random permutation cycle.
+    """
+    if size < 2:
+        raise KernelArgumentError(f"chain needs >= 2 elements, got {size}")
+    if seed is None:
+        if np.gcd(stride, size) != 1:
+            raise KernelArgumentError(
+                f"stride {stride} not coprime with size {size}")
+        chain = np.empty(size, dtype=np.int64)
+        for i in range(size):
+            chain[i] = (i + stride) % size
+        return chain
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(size)
+    chain = np.empty(size, dtype=np.int64)
+    for position in range(size):
+        chain[order[position]] = order[(position + 1) % size]
+    return chain

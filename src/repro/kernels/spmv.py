@@ -1,0 +1,122 @@
+"""Sparse matrix-vector multiply (CSR): an irregular-access workload.
+
+Not in the paper's evaluation, but exactly the kind of kernel its
+framework exists for: data-dependent gather addresses produce wildly
+variable load latencies that aggregate counters cannot explain — the
+stall monitor's latency trace can. Used by the
+``examples/profiling_spmv.py`` walkthrough and the wider test matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.stall_monitor import StallMonitor
+from repro.errors import KernelArgumentError
+from repro.pipeline.kernel import ResourceProfile, SingleTaskKernel
+
+
+class SpMVKernel(SingleTaskKernel):
+    """``y = A @ x`` with A in CSR form, pipelined over nonzeros.
+
+    Args per launch: ``rows``.
+    Buffers: ``row_ptr`` (rows+1), ``col_idx`` (nnz), ``values`` (nnz),
+    ``x`` (columns), ``y`` (rows). The iteration space is the flattened
+    (row, nonzero) stream, exactly how a single-task CSR loop pipelines.
+
+    Optional stall-monitor sites bracket the gather load ``x[col_idx[j]]``
+    — the access whose latency is data-dependent.
+    """
+
+    def __init__(self, row_lengths: Iterable[int],
+                 stall_monitor: Optional[StallMonitor] = None,
+                 name: str = "spmv") -> None:
+        super().__init__(name=name)
+        self.row_lengths = list(row_lengths)
+        if any(length < 0 for length in self.row_lengths):
+            raise KernelArgumentError("row lengths must be non-negative")
+        self.stall_monitor = stall_monitor
+
+    def iteration_space(self, args: Dict) -> List[Tuple[int, int, int]]:
+        """(row, local nonzero index, flat nonzero index) stream."""
+        space = []
+        flat = 0
+        for row, length in enumerate(self.row_lengths[:args["rows"]]):
+            for local in range(length):
+                space.append((row, local, flat))
+                flat += 1
+        return space
+
+    def body(self, ctx):
+        row, local, flat = ctx.iteration
+        column = yield ctx.load("col_idx", flat)
+        value = yield ctx.load("values", flat)
+        if self.stall_monitor is not None:
+            self.stall_monitor.take_snapshot(ctx, 0, flat)
+        xv = yield ctx.load("x", column)            # the irregular gather
+        if self.stall_monitor is not None:
+            self.stall_monitor.take_snapshot(ctx, 1, xv)
+        ctx.accumulate("dot", row, value * xv)
+        if local == self.row_lengths[row] - 1:
+            total = yield ctx.collect("dot", row,
+                                      expected=self.row_lengths[row])
+            yield ctx.store("y", row, total)
+
+    def resource_profile(self) -> ResourceProfile:
+        profile = ResourceProfile(load_sites=3, store_sites=1, adders=3,
+                                  multipliers=1, logic_ops=5,
+                                  control_states=8)
+        if self.stall_monitor is not None:
+            profile = profile.merged(ResourceProfile(channel_endpoints=2,
+                                                     logic_ops=2))
+        return profile
+
+
+def random_csr(rows: int, columns: int, nnz_per_row: int,
+               seed: int = 7) -> Dict[str, np.ndarray]:
+    """Generate a random CSR matrix with ``nnz_per_row`` entries per row."""
+    if rows < 1 or columns < 1 or nnz_per_row < 1:
+        raise KernelArgumentError("rows, columns, nnz_per_row must be >= 1")
+    if nnz_per_row > columns:
+        raise KernelArgumentError("nnz_per_row cannot exceed columns")
+    rng = np.random.default_rng(seed)
+    col_idx = np.concatenate([
+        np.sort(rng.choice(columns, size=nnz_per_row, replace=False))
+        for _ in range(rows)
+    ]).astype(np.int64)
+    values = rng.integers(1, 10, size=rows * nnz_per_row).astype(np.int64)
+    row_ptr = np.arange(rows + 1, dtype=np.int64) * nnz_per_row
+    return {"row_ptr": row_ptr, "col_idx": col_idx, "values": values}
+
+
+def allocate_spmv_buffers(fabric, rows: int, columns: int, nnz_per_row: int,
+                          seed: int = 7) -> Dict:
+    """Allocate/fill CSR buffers plus a dense x; returns the stores."""
+    csr = random_csr(rows, columns, nnz_per_row, seed=seed)
+    stores = {
+        "row_ptr": fabric.memory.allocate("row_ptr", rows + 1),
+        "col_idx": fabric.memory.allocate("col_idx", rows * nnz_per_row),
+        "values": fabric.memory.allocate("values", rows * nnz_per_row),
+        "x": fabric.memory.allocate("x", columns),
+        "y": fabric.memory.allocate("y", rows),
+    }
+    stores["row_ptr"].fill(csr["row_ptr"])
+    stores["col_idx"].fill(csr["col_idx"])
+    stores["values"].fill(csr["values"])
+    stores["x"].fill(np.arange(columns) + 1)
+    return stores
+
+
+def expected_spmv(fabric, rows: int, nnz_per_row: int) -> np.ndarray:
+    """Reference result from the currently-filled buffers."""
+    col_idx = fabric.memory.buffer("col_idx").snapshot()
+    values = fabric.memory.buffer("values").snapshot()
+    x = fabric.memory.buffer("x").snapshot()
+    y = np.zeros(rows, dtype=np.int64)
+    for row in range(rows):
+        start = row * nnz_per_row
+        for j in range(start, start + nnz_per_row):
+            y[row] += values[j] * x[col_idx[j]]
+    return y

@@ -1,0 +1,34 @@
+"""Vector addition: the canonical OpenCL smoke-test kernel.
+
+Not part of the paper's evaluation; used by the quickstart example and by
+tests that need an uninstrumented, embarrassingly parallel workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.pipeline.kernel import NDRangeKernel, ResourceProfile
+
+
+class VecAddKernel(NDRangeKernel):
+    """``c[gid] = a[gid] + b[gid]`` as an NDRange kernel.
+
+    Args per launch: ``n`` — vector length (one work-item per element).
+    """
+
+    def __init__(self, name: str = "vecadd") -> None:
+        super().__init__(name=name)
+
+    def global_size(self, args: Dict) -> int:
+        return args["n"]
+
+    def body(self, ctx):
+        gid, _ = ctx.iteration
+        av = yield ctx.load("a", gid)
+        bv = yield ctx.load("b", gid)
+        yield ctx.store("c", gid, av + bv)
+
+    def resource_profile(self) -> ResourceProfile:
+        return ResourceProfile(load_sites=2, store_sites=1, adders=1,
+                               logic_ops=1, control_states=3)

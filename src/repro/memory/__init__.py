@@ -1,0 +1,19 @@
+"""Memory system: global (DDR-like) and local (block-RAM) models."""
+
+from repro.memory.backing import AddressMap, BackingStore, DEFAULT_ALIGNMENT
+from repro.memory.global_memory import GlobalMemory, GlobalMemoryConfig, GlobalMemoryStats
+from repro.memory.local_memory import LocalMemory, LocalMemoryConfig
+from repro.memory.lsu import LoadStoreUnit, LSUStats
+
+__all__ = [
+    "AddressMap",
+    "BackingStore",
+    "DEFAULT_ALIGNMENT",
+    "GlobalMemory",
+    "GlobalMemoryConfig",
+    "GlobalMemoryStats",
+    "LocalMemory",
+    "LocalMemoryConfig",
+    "LoadStoreUnit",
+    "LSUStats",
+]

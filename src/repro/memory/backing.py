@@ -1,0 +1,144 @@
+"""Typed backing stores and the global address map.
+
+Every global buffer bound to a kernel gets (a) a numpy-backed value store
+and (b) a base address in a flat byte-addressed space. Addresses matter to
+this reproduction: the smart-watchpoint use case (§5.2) watches *addresses*
+(``add_watch(0, (size_t)&data_a[0])``), so the model must be able to take
+the address of an element and later resolve addresses back to buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AddressError, UnknownBufferError
+
+#: Default alignment of buffer base addresses (DDR burst alignment).
+DEFAULT_ALIGNMENT = 64
+
+
+class BackingStore:
+    """A bounds-checked, typed array of values for one global/local buffer."""
+
+    def __init__(self, name: str, size: int, dtype: str = "int64",
+                 base_address: int = 0) -> None:
+        if size <= 0:
+            raise AddressError(f"buffer {name!r}: size must be positive, got {size}")
+        self.name = name
+        self.size = size
+        self.dtype = np.dtype(dtype)
+        self.data = np.zeros(size, dtype=self.dtype)
+        self.base_address = base_address
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.itemsize
+
+    @property
+    def end_address(self) -> int:
+        """One past the last byte of the buffer."""
+        return self.base_address + self.nbytes
+
+    def check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise AddressError(
+                f"buffer {self.name!r}: index {index} out of range [0, {self.size})")
+
+    def read(self, index: int) -> Any:
+        """Read element ``index`` with bounds checking."""
+        self.check_index(index)
+        return self.data[index].item()
+
+    def write(self, index: int, value: Any) -> None:
+        """Write element ``index`` with bounds checking."""
+        self.check_index(index)
+        self.data[index] = value
+
+    def address_of(self, index: int) -> int:
+        """Byte address of element ``index`` (the ``&buf[i]`` operator)."""
+        self.check_index(index)
+        return self.base_address + index * self.itemsize
+
+    def fill(self, values) -> None:
+        """Initialise the buffer contents from an array-like."""
+        arr = np.asarray(values, dtype=self.dtype)
+        if arr.size != self.size:
+            raise AddressError(
+                f"buffer {self.name!r}: fill size {arr.size} != buffer size {self.size}")
+        self.data[:] = arr
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the current contents."""
+        return self.data.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BackingStore {self.name!r} size={self.size} dtype={self.dtype} "
+                f"@{self.base_address:#x}>")
+
+
+class AddressMap:
+    """Allocates base addresses for buffers and resolves addresses back."""
+
+    def __init__(self, start_address: int = 0x1000,
+                 alignment: int = DEFAULT_ALIGNMENT) -> None:
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise AddressError(f"alignment must be a power of two, got {alignment}")
+        self._next = start_address
+        self._alignment = alignment
+        self._buffers: Dict[str, BackingStore] = {}
+
+    def allocate(self, name: str, size: int, dtype: str = "int64") -> BackingStore:
+        """Create a buffer of ``size`` elements and assign it a base address."""
+        if name in self._buffers:
+            raise AddressError(f"buffer {name!r} allocated twice")
+        base = self._align(self._next)
+        store = BackingStore(name, size, dtype=dtype, base_address=base)
+        self._next = base + store.nbytes
+        self._buffers[name] = store
+        return store
+
+    def _align(self, address: int) -> int:
+        mask = self._alignment - 1
+        return (address + mask) & ~mask
+
+    def get(self, name: str) -> BackingStore:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise UnknownBufferError(f"no buffer named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def buffers(self) -> Dict[str, BackingStore]:
+        return dict(self._buffers)
+
+    def resolve(self, address: int) -> Tuple[BackingStore, int]:
+        """Map a byte address to ``(buffer, element_index)``.
+
+        Raises :class:`AddressError` for addresses outside every buffer —
+        this is exactly the "address bound checking" condition smart
+        watchpoints detect at run time.
+        """
+        for store in self._buffers.values():
+            if store.base_address <= address < store.end_address:
+                offset = address - store.base_address
+                if offset % store.itemsize:
+                    raise AddressError(
+                        f"address {address:#x} is misaligned within buffer "
+                        f"{store.name!r} (itemsize {store.itemsize})")
+                return store, offset // store.itemsize
+        raise AddressError(f"address {address:#x} maps to no allocated buffer")
+
+    def try_resolve(self, address: int) -> Optional[Tuple[BackingStore, int]]:
+        """Like :meth:`resolve` but returns None instead of raising."""
+        try:
+            return self.resolve(address)
+        except AddressError:
+            return None

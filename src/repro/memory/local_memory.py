@@ -1,0 +1,119 @@
+"""On-chip local memory (block-RAM scratchpads).
+
+The ibuffer's trace buffer lives here by design: "The second challenge is
+addressed by having a trace-buffer in local memory, hence writes to this
+memory do not affect global memory accesses" (§4). Local memory is banked
+and single-cycle; bank conflicts add a cycle per conflicting access, but
+accesses never touch the global-memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import AddressError
+from repro.sim.core import Event, Simulator
+
+
+@dataclass(frozen=True)
+class LocalMemoryConfig:
+    """Timing/geometry knobs for a local-memory scratchpad."""
+
+    #: Access latency in cycles when there is no bank conflict.
+    latency: int = 1
+    #: Number of independently-ported banks (word-interleaved).
+    banks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise AddressError("local memory latency must be >= 0")
+        if self.banks < 1:
+            raise AddressError("local memory needs >= 1 bank")
+
+
+class LocalMemory:
+    """A bounds-checked, banked scratchpad private to one kernel instance."""
+
+    def __init__(self, sim: Simulator, name: str, size: int, dtype: str = "int64",
+                 config: Optional[LocalMemoryConfig] = None) -> None:
+        if size <= 0:
+            raise AddressError(f"local memory {name!r}: size must be positive")
+        self.sim = sim
+        self.name = name
+        self.size = size
+        self.dtype = np.dtype(dtype)
+        self.data = np.zeros(size, dtype=self.dtype)
+        self.config = config or LocalMemoryConfig()
+        self._bank_ready = [0] * self.config.banks
+        self.accesses = 0
+        self.bank_conflicts = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise AddressError(
+                f"local memory {self.name!r}: index {index} out of range [0, {self.size})")
+
+    def _access_latency(self, index: int) -> int:
+        """Latency of an access starting now, accounting for bank conflicts."""
+        bank = index % self.config.banks
+        now = self.sim.now
+        start = max(now, self._bank_ready[bank])
+        if start > now:
+            self.bank_conflicts += 1
+        self._bank_ready[bank] = start + 1
+        self.accesses += 1
+        return (start - now) + self.config.latency
+
+    # -- immediate API (zero-time, for state-machine internal bookkeeping) --
+
+    def peek(self, index: int) -> Any:
+        """Zero-time read used by analysis code, not by simulated pipelines."""
+        self._check(index)
+        return self.data[index].item()
+
+    def poke(self, index: int, value: Any) -> None:
+        """Zero-time write used by the ibuffer's single-cycle datapath.
+
+        The ibuffer state machine performs its trace-buffer write within its
+        single-cycle loop iteration; modelling that write as part of the
+        current cycle (latency folded into the iteration) matches Listing 8.
+        """
+        self._check(index)
+        self.data[index] = value
+        self.accesses += 1
+
+    # -- timed API (for kernels that index local memory on their datapath) --
+
+    def load(self, index: int) -> Event:
+        """Timed load; event triggers with the value."""
+        self._check(index)
+        latency = self._access_latency(index)
+        event = Event(self.sim)
+        value = self.data[index].item()
+        self.sim.timeout(latency).add_callback(
+            lambda done, _event=event, _value=value: _event.succeed(_value))
+        return event
+
+    def store(self, index: int, value: Any) -> Event:
+        """Timed store; event triggers when the write retires."""
+        self._check(index)
+        latency = self._access_latency(index)
+        event = Event(self.sim)
+
+        def _commit(done, _index=index, _value=value, _event=event):
+            self.data[_index] = _value
+            _event.succeed(None)
+
+        self.sim.timeout(latency).add_callback(_commit)
+        return event
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of current contents (host-side readout helper)."""
+        return self.data.copy()

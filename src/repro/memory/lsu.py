@@ -1,0 +1,92 @@
+"""Load/store units: the per-call-site memory ports of a pipeline.
+
+Each static load or store in an AOCL kernel synthesizes to its own LSU.
+Responses at one site return **in order** — iteration *n*'s load cannot
+retire before iteration *n-1*'s load from the same site — which is what
+makes a long-latency access stall everything behind it in the pipeline.
+The stall monitor (§5.1) observes exactly this serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.memory.global_memory import GlobalMemory
+from repro.sim.core import Event, Simulator
+
+
+@dataclass
+class LSUStats:
+    """Per-site latency bookkeeping (available without instrumentation;
+    the paper's point is that on real hardware this is *not* visible —
+    here it doubles as ground truth for validating the stall monitor)."""
+
+    issued: int = 0
+    completed: int = 0
+    total_latency: int = 0
+    max_latency: int = 0
+    ordering_stall_cycles: int = 0
+    samples: List[int] = field(default_factory=list)
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.completed if self.completed else 0.0
+
+
+class LoadStoreUnit:
+    """One memory port: issues accesses and retires them in order."""
+
+    def __init__(self, sim: Simulator, memory: GlobalMemory, site: str,
+                 kind: str, keep_samples: bool = False) -> None:
+        if kind not in ("load", "store"):
+            raise ValueError(f"LSU kind must be 'load' or 'store', got {kind!r}")
+        self.sim = sim
+        self.memory = memory
+        self.site = site
+        self.kind = kind
+        self.stats = LSUStats()
+        self._keep_samples = keep_samples
+        #: Completion event of the most recently issued access (ordering tail).
+        self._tail: Optional[Event] = None
+
+    def issue(self, buffer_name: str, index: int, value: Any = None) -> Event:
+        """Issue one access; the returned event retires in program order."""
+        self.stats.issued += 1
+        issue_cycle = self.sim.now
+        if self.kind == "load":
+            raw = self.memory.load(buffer_name, index)
+        else:
+            raw = self.memory.store(buffer_name, index, value)
+
+        retire = Event(self.sim)
+        previous_tail = self._tail
+        self._tail = retire
+        state = {"raw_done": False, "prev_done": previous_tail is None,
+                 "value": None, "raw_cycle": None}
+
+        def _maybe_retire() -> None:
+            if state["raw_done"] and state["prev_done"] and not retire.triggered:
+                latency = self.sim.now - issue_cycle
+                self.stats.completed += 1
+                self.stats.total_latency += latency
+                if latency > self.stats.max_latency:
+                    self.stats.max_latency = latency
+                self.stats.ordering_stall_cycles += self.sim.now - state["raw_cycle"]
+                if self._keep_samples:
+                    self.stats.samples.append(latency)
+                retire.succeed(state["value"])
+
+        def _on_raw(event: Event) -> None:
+            state["raw_done"] = True
+            state["value"] = event._value
+            state["raw_cycle"] = self.sim.now
+            _maybe_retire()
+
+        raw.add_callback(_on_raw)
+        if previous_tail is not None:
+            def _on_prev(event: Event) -> None:
+                state["prev_done"] = True
+                _maybe_retire()
+            previous_tail.add_callback(_on_prev)
+        return retire

@@ -1,0 +1,36 @@
+"""AOCL kernel execution model: pipelined kernels on a simulated fabric."""
+
+from repro.pipeline.accumulator import Accumulator
+from repro.pipeline.context import KernelContext
+from repro.pipeline.engine import AutorunEngine, EngineStats, KernelInstance, PipelineEngine
+from repro.pipeline.fabric import Fabric
+from repro.pipeline.kernel import (
+    AutorunKernel,
+    Kernel,
+    NDRangeKernel,
+    PipelineConfig,
+    ResourceProfile,
+    SingleTaskKernel,
+)
+from repro.pipeline.schedule import NDRANGE_POLICIES, flattened, i_major, k_major, ndrange_schedule
+
+__all__ = [
+    "Accumulator",
+    "KernelContext",
+    "AutorunEngine",
+    "EngineStats",
+    "KernelInstance",
+    "PipelineEngine",
+    "Fabric",
+    "AutorunKernel",
+    "Kernel",
+    "NDRangeKernel",
+    "PipelineConfig",
+    "ResourceProfile",
+    "SingleTaskKernel",
+    "NDRANGE_POLICIES",
+    "flattened",
+    "i_major",
+    "k_major",
+    "ndrange_schedule",
+]

@@ -1,0 +1,397 @@
+"""The pipeline engine: executes kernels the way AOCL hardware does.
+
+A compiled kernel is a pipeline fed by a stream of iteration instances
+(loop iterations for single-task kernels, work-items for NDRange kernels).
+The engine models the dynamic behaviour that the paper's instrumentation
+observes:
+
+* iterations are **issued in schedule order**, one per initiation interval,
+  with a bounded number in flight (pipeline depth) — issue stalls when the
+  pipeline is full;
+* each static memory site retires accesses **in order** (one LSU per static
+  load/store), so a slow access stalls everything behind it — this is the
+  stall the §5.1 monitor measures;
+* channel operations follow AOCL semantics, including blocking reads that
+  stall the pipeline and non-blocking writes that never do;
+* autorun kernels run forever, phase-aligned within the clock cycle
+  ("early" producers update before "late" consumers poll).
+
+Site identity is derived from the generator's suspended source line when
+not given explicitly, so one textual ``yield`` maps to one hardware unit
+across all iterations — mirroring static elaboration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import KernelBuildError, KernelError
+from repro.memory.lsu import LoadStoreUnit
+from repro.pipeline import ops
+from repro.pipeline.accumulator import Accumulator
+from repro.pipeline.context import KernelContext
+from repro.pipeline.kernel import AutorunKernel, Kernel
+from repro.sim.core import (
+    PRIORITY_LATE,
+    PRIORITY_URGENT,
+    Event,
+    Interrupt,
+    Process,
+)
+
+
+class KernelInstance:
+    """One compute unit of a kernel: private locals, accumulators, endpoints."""
+
+    def __init__(self, fabric: Any, kernel: Kernel, args: Dict[str, Any],
+                 compute_id: int = 0) -> None:
+        self.fabric = fabric
+        self.kernel = kernel
+        self.args = dict(args or {})
+        self.compute_id = compute_id
+        self._locals = kernel.create_locals(fabric, compute_id)
+        self._accumulators: Dict[str, Accumulator] = {}
+
+    @property
+    def endpoint_owner(self) -> Kernel:
+        """The identity channels bind endpoints against (SPSC enforcement).
+
+        Binding is at *kernel* granularity: replicated compute units of one
+        kernel and repeated launches of one host-interface kernel are the
+        same static endpoint in the compiled image.
+        """
+        return self.kernel
+
+    def local(self, name: str):
+        try:
+            return self._locals[name]
+        except KeyError:
+            raise KernelError(
+                f"kernel {self.kernel.name!r} (cu{self.compute_id}) declares no "
+                f"local memory named {name!r}") from None
+
+    def accumulator(self, name: str) -> Accumulator:
+        if name not in self._accumulators:
+            self._accumulators[name] = Accumulator(
+                self.fabric.sim, f"{self.kernel.name}.{name}")
+        return self._accumulators[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelInstance {self.kernel.name!r} cu{self.compute_id}>"
+
+
+@dataclass
+class EngineStats:
+    """Dynamic execution statistics of one kernel launch."""
+
+    iterations_issued: int = 0
+    iterations_retired: int = 0
+    start_cycle: Optional[int] = None
+    finish_cycle: Optional[int] = None
+    issue_stall_cycles: int = 0
+    #: Per-iteration lifetimes: (tag, issue_cycle, retire_cycle), retained
+    #: when the fabric keeps samples. Ground truth for pipeline views.
+    iteration_trace: List[Tuple[Any, int, int]] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> Optional[int]:
+        if self.start_cycle is None or self.finish_cycle is None:
+            return None
+        return self.finish_cycle - self.start_cycle
+
+
+class _OpExecutor:
+    """Shared op-execution machinery for pipelined and autorun engines."""
+
+    def __init__(self, fabric: Any, kernel: Kernel) -> None:
+        self.fabric = fabric
+        self.kernel = kernel
+        self.sim = fabric.sim
+        self._lsus: Dict[Tuple[str, str], LoadStoreUnit] = {}
+
+    def lsu(self, site: str, kind: str) -> LoadStoreUnit:
+        """Get-or-create the LSU backing one static memory site."""
+        key = (site, kind)
+        if key not in self._lsus:
+            self._lsus[key] = LoadStoreUnit(
+                self.sim, self.fabric.memory, site, kind,
+                keep_samples=self.fabric.keep_lsu_samples)
+        return self._lsus[key]
+
+    @property
+    def lsus(self) -> Dict[Tuple[str, str], LoadStoreUnit]:
+        return dict(self._lsus)
+
+    def _derive_site(self, generator: Generator, op: ops.Op,
+                     compute_id: int) -> str:
+        frame = getattr(generator, "gi_frame", None)
+        lineno = frame.f_lineno if frame is not None else 0
+        return f"{self.kernel.name}.cu{compute_id}:{type(op).__name__}@L{lineno}"
+
+    def _cycle_priority(self) -> int:
+        phase = getattr(self.kernel, "phase", "late")
+        return PRIORITY_URGENT if phase == "early" else PRIORITY_LATE
+
+    def _drive(self, generator: Generator, compute_id: int,
+               ctx: Optional[KernelContext] = None) -> Generator:
+        """Run one body generator to completion, executing yielded ops."""
+        send_value: Any = None
+        throw_exc: Optional[BaseException] = None
+        while True:
+            try:
+                if throw_exc is not None:
+                    op = generator.throw(throw_exc)
+                    throw_exc = None
+                else:
+                    op = generator.send(send_value)
+            except StopIteration:
+                return
+            if not isinstance(op, ops.Op):
+                generator.close()
+                raise KernelBuildError(
+                    f"kernel {self.kernel.name!r} yielded {op!r}; kernel bodies "
+                    "must yield Op objects built via the KernelContext")
+            site = op.site or self._derive_site(generator, op, compute_id)
+            try:
+                send_value = yield from self._execute(op, site, ctx)
+            except Interrupt:
+                generator.close()
+                raise
+            except BaseException as exc:
+                send_value = None
+                throw_exc = exc
+
+    def _execute(self, op: ops.Op, site: str,
+                 ctx: Optional[KernelContext] = None) -> Generator:
+        """Execute one op; returns its result value (generator protocol)."""
+        if isinstance(op, ops.Barrier):
+            yield self._barrier_arrive(site, ctx)
+            return None
+        if isinstance(op, ops.Load):
+            value = yield self.lsu(site, "load").issue(op.buffer, op.index)
+            return value
+        if isinstance(op, ops.Store):
+            yield self.lsu(site, "store").issue(op.buffer, op.index, op.value)
+            return None
+        if isinstance(op, ops.LoadLocal):
+            value = yield op.memory.load(op.index)
+            return value
+        if isinstance(op, ops.StoreLocal):
+            yield op.memory.store(op.index, op.value)
+            return None
+        if isinstance(op, ops.ReadChannel):
+            value = yield from op.channel.read()
+            return value
+        if isinstance(op, ops.WriteChannel):
+            yield from op.channel.write(op.value)
+            return None
+        if isinstance(op, ops.Call):
+            value = yield from op.module.invoke(op.args)
+            return value
+        if isinstance(op, ops.Compute):
+            if op.cycles:
+                yield self.sim.timeout(op.cycles)
+            return op.value
+        if isinstance(op, ops.CollectReduction):
+            value = yield op.accumulator.collect(op.key, op.expected)
+            return value
+        if isinstance(op, ops.MemFence):
+            return None
+        if isinstance(op, ops.CycleBoundary):
+            yield self.sim.timeout(1, priority=self._cycle_priority())
+            return None
+        raise KernelBuildError(f"unknown op {op!r} from kernel {self.kernel.name!r}")
+
+    def _barrier_arrive(self, site: str, ctx: Optional[KernelContext]) -> Event:
+        raise KernelBuildError(
+            f"kernel {self.kernel.name!r}: barrier() is only valid inside "
+            "an NDRange kernel launch")
+
+
+class PipelineEngine(_OpExecutor):
+    """Executes a single-task or NDRange kernel as a pipelined launch."""
+
+    def __init__(self, fabric: Any, kernel: Kernel, args: Optional[Dict[str, Any]] = None,
+                 compute_id: int = 0,
+                 space: Optional[Any] = None) -> None:
+        if isinstance(kernel, AutorunKernel):
+            raise KernelBuildError(
+                f"autorun kernel {kernel.name!r} cannot be enqueued; "
+                "it starts with the device (use AutorunEngine)")
+        super().__init__(fabric, kernel)
+        self.instance = KernelInstance(fabric, kernel, args or {}, compute_id)
+        #: Optional iteration-space override (multi-compute-unit launches
+        #: give each unit its share of the space).
+        self._space = space
+        self.config = kernel.pipeline
+        self.stats = EngineStats()
+        self.completion: Event = self.sim.event()
+        self._inflight = 0
+        self._launch_done = False
+        self._slot_event: Optional[Event] = None
+        self._started = False
+        self._failure: Optional[BaseException] = None
+        #: Barrier rendezvous state: (site, group) -> {"arrived", "event"}.
+        self._barriers: Dict[Tuple[str, int], Dict[str, Any]] = {}
+
+    def start(self) -> Event:
+        """Begin the launch; returns the completion event."""
+        if self._started:
+            raise KernelError(f"kernel {self.kernel.name!r} launch already started")
+        self._started = True
+        self.sim.process(self._launcher(), name=f"{self.kernel.name}.launcher")
+        return self.completion
+
+    # -- internals -----------------------------------------------------------
+
+    def _launcher(self) -> Generator:
+        self.stats.start_cycle = self.sim.now
+        last_issue: Optional[int] = None
+        issued_any = False
+        space = (self._space if self._space is not None
+                 else self.kernel.iteration_space(self.instance.args))
+        for tag in space:
+            if last_issue is not None:
+                gap = last_issue + self.config.ii - self.sim.now
+                if gap > 0:
+                    yield self.sim.timeout(gap)
+            while self._inflight >= self.config.max_inflight:
+                stall_start = self.sim.now
+                self._slot_event = self.sim.event()
+                yield self._slot_event
+                self.stats.issue_stall_cycles += self.sim.now - stall_start
+            self._issue(tag)
+            issued_any = True
+            last_issue = self.sim.now
+        self._launch_done = True
+        if not issued_any:
+            self._maybe_complete()
+
+    def _issue(self, tag: Any) -> None:
+        self._inflight += 1
+        self.stats.iterations_issued += 1
+        ctx = KernelContext(self.instance, iteration=tag)
+        body = self.kernel.body(ctx)
+        self.sim.process(self._iteration(body, ctx, tag, self.sim.now),
+                         name=f"{self.kernel.name}[{tag}]")
+
+    def _iteration(self, body: Generator, ctx: Optional[KernelContext],
+                   tag: Any, issued_at: int) -> Generator:
+        try:
+            yield from self._drive(body, self.instance.compute_id, ctx)
+        except Interrupt:
+            raise
+        except BaseException as exc:
+            # An unhandled kernel exception fails the whole launch; the
+            # failure reaches the host at the completion event, like an
+            # aborted command on a real runtime.
+            if self._failure is None:
+                self._failure = exc
+        finally:
+            if self.fabric.keep_lsu_samples:
+                self.stats.iteration_trace.append((tag, issued_at,
+                                                   self.sim.now))
+            self._retire()
+
+    def _barrier_arrive(self, site: str, ctx: Optional[KernelContext]) -> Event:
+        """Work-group barrier: the returned event fires when the whole
+        group has arrived at this site."""
+        kernel = self.kernel
+        if kernel.kind != "ndrange" or ctx is None:
+            return super()._barrier_arrive(site, ctx)
+        if self._space is not None:
+            raise KernelBuildError(
+                f"kernel {kernel.name!r}: barrier() is not supported in "
+                "multi-compute-unit launches (a group must live in one unit)")
+        global_size = kernel.global_size(self.instance.args)
+        local_size = getattr(kernel, "local_size", None) or global_size
+        gid = ctx.global_id
+        group = gid // local_size
+        expected = min(local_size, global_size - group * local_size)
+        if expected > self.config.max_inflight:
+            raise KernelBuildError(
+                f"kernel {kernel.name!r}: work-group of {expected} cannot "
+                f"rendezvous with max_inflight={self.config.max_inflight}; "
+                "raise the pipeline depth or shrink local_size")
+        key = (site, group)
+        state = self._barriers.setdefault(
+            key, {"arrived": 0, "event": self.sim.event()})
+        state["arrived"] += 1
+        event = state["event"]
+        if state["arrived"] >= expected:
+            # Last arrival releases the group; barrier crossing costs a cycle.
+            del self._barriers[key]
+            self.sim.timeout(1).add_callback(
+                lambda done, _event=event: _event.succeed())
+        return event
+
+    def _retire(self) -> None:
+        self._inflight -= 1
+        self.stats.iterations_retired += 1
+        if self._slot_event is not None and not self._slot_event.triggered:
+            self._slot_event.succeed()
+            self._slot_event = None
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self._launch_done and self._inflight == 0 and not self.completion.triggered:
+            self.stats.finish_cycle = self.sim.now
+            if self._failure is not None:
+                failure = KernelError(
+                    f"kernel {self.kernel.name!r} failed: {self._failure}")
+                failure.__cause__ = self._failure
+                self.completion.fail(failure)
+            else:
+                self.completion.succeed(self.stats)
+
+
+class AutorunEngine(_OpExecutor):
+    """Runs the compute units of an autorun kernel forever (until stopped)."""
+
+    def __init__(self, fabric: Any, kernel: AutorunKernel,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        if not isinstance(kernel, AutorunKernel):
+            raise KernelBuildError(
+                f"kernel {kernel.name!r} is not autorun; use PipelineEngine")
+        super().__init__(fabric, kernel)
+        self.instances: List[KernelInstance] = [
+            KernelInstance(fabric, kernel, args or {}, compute_id)
+            for compute_id in range(kernel.num_compute_units)
+        ]
+        self._processes: List[Process] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Launch all compute units (normally done at device programming)."""
+        if self._started:
+            raise KernelError(f"autorun kernel {self.kernel.name!r} already started")
+        self._started = True
+        for instance in self.instances:
+            self._processes.append(self.sim.process(
+                self._unit(instance),
+                name=f"{self.kernel.name}.cu{instance.compute_id}"))
+
+    def _unit(self, instance: KernelInstance) -> Generator:
+        skew = getattr(self.kernel, "launch_skew", 0)
+        if skew:
+            yield self.sim.timeout(skew)
+        # Align the unit to its intra-cycle phase from the very first cycle.
+        yield self.sim.timeout(0, priority=self._cycle_priority())
+        ctx = KernelContext(instance, iteration=None)
+        body = self.kernel.body(ctx)
+        try:
+            yield from self._drive(body, instance.compute_id)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Interrupt all compute units (tears the persistent kernels down)."""
+        for process in self._processes:
+            if process.is_alive:
+                process.interrupt("autorun stop")
+        self._processes = []
+
+    @property
+    def running(self) -> bool:
+        return any(process.is_alive for process in self._processes)

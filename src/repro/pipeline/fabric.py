@@ -1,0 +1,134 @@
+"""The FPGA fabric: one programmed device image.
+
+A :class:`Fabric` bundles everything one compiled ``.aocx`` image contains
+at run time — the clock (simulator), the channel namespace, the global
+memory system, and the set of autorun kernels that start with the device.
+The host runtime (:mod:`repro.host`) wraps a fabric; tests and benchmarks
+may use it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.channels.registry import ChannelNamespace
+from repro.errors import KernelError, ProcessError, SimulationError
+from repro.memory.global_memory import GlobalMemory, GlobalMemoryConfig
+from repro.pipeline.engine import AutorunEngine, PipelineEngine
+from repro.pipeline.kernel import AutorunKernel, Kernel
+from repro.sim.core import Event, Simulator
+
+
+class Fabric:
+    """A programmed FPGA: clock + channels + memory + persistent kernels."""
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 memory_config: Optional[GlobalMemoryConfig] = None,
+                 keep_lsu_samples: bool = True) -> None:
+        self.sim = sim or Simulator()
+        self.channels = ChannelNamespace(self.sim)
+        self.memory = GlobalMemory(self.sim, config=memory_config)
+        #: When True, LSUs retain per-access latency samples (ground truth
+        #: used to validate what the stall monitor reconstructs).
+        self.keep_lsu_samples = keep_lsu_samples
+        self.autorun_engines: List[AutorunEngine] = []
+        self.engines: List[PipelineEngine] = []
+
+    # -- kernels ---------------------------------------------------------
+
+    def add_autorun(self, kernel: AutorunKernel,
+                    args: Optional[Dict[str, Any]] = None) -> AutorunEngine:
+        """Install and start a persistent autorun kernel."""
+        engine = AutorunEngine(self, kernel, args)
+        engine.start()
+        self.autorun_engines.append(engine)
+        return engine
+
+    def launch(self, kernel: Kernel, args: Optional[Dict[str, Any]] = None,
+               compute_id: int = 0) -> PipelineEngine:
+        """Launch a single-task or NDRange kernel; returns its engine."""
+        engine = PipelineEngine(self, kernel, args, compute_id=compute_id)
+        engine.start()
+        self.engines.append(engine)
+        return engine
+
+    def launch_replicated(self, kernel: Kernel,
+                          args: Optional[Dict[str, Any]] = None
+                          ) -> List[PipelineEngine]:
+        """Launch all compute units of a replicated kernel.
+
+        ``num_compute_units(N)`` on a (non-autorun) kernel splits the
+        iteration space round-robin across N hardware copies, each with
+        its own pipeline and memory ports — the AOCL throughput-scaling
+        replication. Wait on every returned engine's completion.
+        """
+        count = kernel.num_compute_units
+        space = list(kernel.iteration_space(dict(args or {})))
+        engines = []
+        for compute_id in range(count):
+            share = space[compute_id::count]
+            engine = PipelineEngine(self, kernel, args,
+                                    compute_id=compute_id, space=share)
+            engine.start()
+            self.engines.append(engine)
+            engines.append(engine)
+        return engines
+
+    def run_replicated(self, kernel: Kernel,
+                       args: Optional[Dict[str, Any]] = None,
+                       max_cycles: int = 10_000_000) -> List[PipelineEngine]:
+        """Launch all compute units and run until every one completes."""
+        engines = self.launch_replicated(kernel, args)
+        self.run(*[engine.completion for engine in engines],
+                 max_cycles=max_cycles)
+        self.run(self.memory.drained(), max_cycles=max_cycles)
+        return engines
+
+    def run(self, *completions: Event, max_cycles: int = 10_000_000) -> None:
+        """Advance simulation until every given completion event fired.
+
+        ``max_cycles`` guards against deadlocked designs (e.g. a blocking
+        channel read whose producer never writes) — a real board would hang
+        the same way; the simulator reports it instead.
+        """
+        for completion in completions:
+            while not completion.triggered:
+                if self.sim.peek() is None:
+                    raise SimulationError(
+                        "deadlock: no scheduled events but a kernel launch "
+                        "has not completed (blocked channel or missing producer?)")
+                next_time = self.sim.peek()
+                if self.sim.now > max_cycles or (next_time is not None
+                                                 and next_time > max_cycles):
+                    raise SimulationError(
+                        f"kernel did not complete within {max_cycles} cycles")
+                self.sim.step()
+                self.sim._raise_crashed()
+            if not completion._ok:
+                completion._defused = True
+                raise ProcessError(str(completion._value)) from completion._value
+
+    def run_kernel(self, kernel: Kernel, args: Optional[Dict[str, Any]] = None,
+                   max_cycles: int = 10_000_000) -> PipelineEngine:
+        """Launch ``kernel`` and run until it completes and memory quiesces.
+
+        Posted stores commit after the pipeline retires them; like a real
+        runtime's ``clFinish``, this waits for global memory to drain so the
+        host may immediately read result buffers.
+        """
+        engine = self.launch(kernel, args)
+        self.run(engine.completion, max_cycles=max_cycles)
+        self.run(self.memory.drained(), max_cycles=max_cycles)
+        return engine
+
+    def advance(self, cycles: int) -> None:
+        """Run the clock forward by ``cycles`` (autorun kernels keep going)."""
+        if cycles < 0:
+            raise KernelError(f"cannot advance by negative cycles ({cycles})")
+        self.sim.run(until=self.sim.now + cycles)
+
+    def stop_autorun(self) -> None:
+        """Tear down all persistent kernels (device reprogramming)."""
+        for engine in self.autorun_engines:
+            engine.stop()
+        self.autorun_engines = []

@@ -1,0 +1,64 @@
+"""Composite condition events: wait for *any of* / *all of* several events.
+
+These are used by pipeline machinery that must wait, e.g., for either a
+memory response or an abort signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulator
+
+
+class Condition(Event):
+    """Base class: triggers when ``evaluate`` says enough events fired."""
+
+    def __init__(self, sim: Simulator, events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events: List[Event] = list(events)
+        self._fired: Dict[Event, bool] = {}
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._on_event)
+
+    def _count_needed(self) -> int:
+        raise NotImplementedError
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._fired[event] = True
+        if len(self._fired) >= self._count_needed():
+            self.succeed(self._collect())
+
+    def _collect(self) -> Dict[Event, object]:
+        # Only events whose callbacks actually ran count as fired — a
+        # pending Timeout already carries its value, so checking
+        # ``triggered`` alone would over-collect.
+        return {event: event._value for event in self._events
+                if event in self._fired}
+
+
+class AllOf(Condition):
+    """Triggers once every constituent event has triggered."""
+
+    def _count_needed(self) -> int:
+        return len(self._events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one constituent event triggers."""
+
+    def _count_needed(self) -> int:
+        return 1

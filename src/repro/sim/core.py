@@ -1,0 +1,358 @@
+"""Cycle-accurate discrete-event simulation core.
+
+This module provides the minimal event-driven substrate on which the whole
+AOCL (Altera OpenCL-for-FPGA) execution model is built: an event queue keyed
+by (time, priority, sequence), generator-based processes, and timeouts.
+
+The design deliberately mirrors the well-known SimPy architecture (events
+with callbacks, processes as coroutines that yield events) but is
+implemented from scratch because no external simulation package is part of
+this project's dependency set, and because the FPGA model needs precise
+two-phase cycle semantics (see :data:`PRIORITY_URGENT`).
+
+Time is measured in **clock cycles** of the synthesized design. All
+latencies elsewhere in the library are expressed in cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import ProcessError, SimulationError
+
+#: Events scheduled with this priority run before normal events at the same
+#: cycle.  Used for "combinational" updates such as free-running counter
+#: increments, so that a consumer reading in the same cycle observes the
+#: freshly produced value, matching register-transfer semantics.
+PRIORITY_URGENT = 0
+
+#: Default priority for ordinary sequential events.
+PRIORITY_NORMAL = 1
+
+#: Events that must observe everything else in the cycle (e.g. end-of-cycle
+#: bookkeeping and monitors).
+PRIORITY_LATE = 2
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* once given a value (or an
+    exception) and scheduled, and is *processed* after its callbacks ran.
+    Processes waiting on the event are resumed through those callbacks.
+    """
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok = True
+        #: Set when a failure's exception was delivered somewhere; lets the
+        #: simulator loudly report unhandled process crashes.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._value is Event._PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value`` at the current cycle."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay=0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay=0, priority=priority)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately,
+        which keeps late waiters correct.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` cycles in the future."""
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        sim._schedule(self, delay=delay, priority=priority)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class Process(Event):
+    """A simulation coroutine.
+
+    Wraps a generator that yields :class:`Event` objects. Each yield
+    suspends the process until the yielded event is processed; the event's
+    value is sent back into the generator (or its exception thrown in). The
+    process itself is an event that triggers when the generator returns,
+    with the generator's return value; it fails if the generator raises.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise ProcessError(f"process body must be a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick off the process at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        sim._schedule(init, delay=0, priority=PRIORITY_NORMAL)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current cycle."""
+        if self.triggered:
+            raise ProcessError(f"cannot interrupt finished process {self.name!r}")
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        self.sim._schedule(interrupt_event, delay=0, priority=PRIORITY_URGENT)
+        # Detach from the current target: the interrupt, not the target,
+        # resumes the process. The target's eventual value is discarded.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_event = self._generator.send(event._value)
+                    else:
+                        event._defused = True
+                        next_event = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    self.sim._schedule(self, delay=0, priority=PRIORITY_NORMAL)
+                    break
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    self._defused = False
+                    self.sim._schedule(self, delay=0, priority=PRIORITY_NORMAL)
+                    break
+
+                if not isinstance(next_event, Event):
+                    raise ProcessError(
+                        f"process {self.name!r} yielded non-event {next_event!r}")
+                self._target = next_event
+                if next_event.callbacks is not None:
+                    next_event.callbacks.append(self._resume)
+                    break
+                # Event already processed: loop and deliver immediately.
+                event = next_event
+        finally:
+            self.sim._active_process = None
+
+
+class Simulator:
+    """The event loop: owns simulated time and the pending-event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._queue: List = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+        #: Failed processes whose exception nobody consumed; surfaced by run().
+        self._crashed: List[Process] = []
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in clock cycles."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None,
+                priority: int = PRIORITY_NORMAL) -> Timeout:
+        """Create an event that fires ``delay`` cycles from now."""
+        return Timeout(self, delay, value, priority)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling & execution ------------------------------------------
+
+    def _schedule(self, event: Event, delay: int, priority: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay {delay})")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            if isinstance(event, Process):
+                self._crashed.append(event)
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * an ``int`` — run until that cycle (exclusive of later events);
+        * an :class:`Event` — run until that event is processed, returning
+          its value (re-raising its exception on failure).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[int] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = int(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_time is not None and self._queue[0][0] >= stop_time:
+                self._now = stop_time
+                break
+            self.step()
+            self._raise_crashed()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                if self._queue:
+                    return None
+                raise SimulationError(
+                    "run() ran out of events before the awaited event triggered")
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+        if stop_time is not None and self._now < stop_time and not self._queue:
+            self._now = stop_time
+        return None
+
+    def _raise_crashed(self) -> None:
+        if self._crashed:
+            process = self._crashed.pop(0)
+            process._defused = True
+            raise ProcessError(
+                f"process {process.name!r} crashed: {process._value!r}"
+            ) from process._value
+
+    def run_all(self, max_cycles: int = 10_000_000) -> None:
+        """Run until the queue drains, guarding against runaway models."""
+        while self._queue:
+            if self._now > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles; "
+                    "likely a livelocked autorun kernel without a stop condition")
+            self.step()
+            self._raise_crashed()
+
+
+def at_each_cycle(sim: Simulator, body: Callable[[int], Optional[bool]],
+                  priority: int = PRIORITY_URGENT, name: str = "cycle-driver"):
+    """Run ``body(cycle)`` once per cycle until it returns True.
+
+    Convenience used by free-running counters and per-cycle monitors; the
+    body runs with urgent priority so same-cycle consumers see its effects.
+    """
+
+    def _driver():
+        while True:
+            if body(sim.now):
+                return
+            yield sim.timeout(1, priority=priority)
+
+    return sim.process(_driver(), name=name)

@@ -1,0 +1,34 @@
+"""Synthesis area/timing model (the Quartus-report substitute)."""
+
+from repro.synthesis.cost_model import ChannelSpec, CostModel, CostTable, DEFAULT_COSTS
+from repro.synthesis.design import DEFAULT_SHELL, Design, ShellProfile
+from repro.synthesis.report import SynthesisReport, compare_reports, synthesize
+from repro.synthesis.resources import (
+    ARRIA_10,
+    ARRIA_10_INTEGRATED,
+    DeviceModel,
+    PLATFORMS,
+    ResourceVector,
+    STRATIX_V,
+)
+from repro.synthesis.timing_model import TimingModel
+
+__all__ = [
+    "ChannelSpec",
+    "CostModel",
+    "CostTable",
+    "DEFAULT_COSTS",
+    "DEFAULT_SHELL",
+    "Design",
+    "ShellProfile",
+    "SynthesisReport",
+    "compare_reports",
+    "synthesize",
+    "ARRIA_10",
+    "ARRIA_10_INTEGRATED",
+    "DeviceModel",
+    "PLATFORMS",
+    "ResourceVector",
+    "STRATIX_V",
+    "TimingModel",
+]

@@ -1,0 +1,148 @@
+"""Area cost model: static resource profiles → fitter resource vectors.
+
+The constants model a Stratix-V-class AOCL flow: burst-coalesced LSUs are
+by far the biggest per-site cost, channel endpoints are cheap, and local
+memories become M20K blocks according to their banking structure. Values
+were calibrated so the reproduced Table 1 / §3.1 experiments land on the
+paper's reported shapes (see EXPERIMENTS.md for the comparison).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SynthesisError
+from repro.pipeline.kernel import ResourceProfile
+from repro.synthesis.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Per-unit area costs (ALMs / registers / memory bits)."""
+
+    # Burst-coalesced load/store units: logic + private burst cache.
+    load_alms: float = 850.0
+    load_registers: float = 1_400.0
+    load_cache_bits: float = 8_192.0
+    store_alms: float = 600.0
+    store_registers: float = 1_100.0
+    store_cache_bits: float = 4_096.0
+    # Datapath operators.
+    adder_alms: float = 30.0
+    adder_registers: float = 32.0
+    multiplier_alms: float = 40.0
+    multiplier_registers: float = 64.0
+    multiplier_dsps: int = 1
+    logic_op_alms: float = 15.0
+    logic_op_registers: float = 16.0
+    # Channel endpoints (handshake + mux into the pipeline).
+    channel_endpoint_alms: float = 35.0
+    channel_endpoint_registers: float = 60.0
+    # Channel FIFO storage smaller than this lives in MLABs (charged as ALMs).
+    mlab_threshold_bits: int = 640
+    mlab_alms_per_fifo: float = 20.0
+    # Control FSM.
+    control_state_alms: float = 25.0
+    control_state_registers: float = 40.0
+    # HDL library module shells.
+    hdl_module_alms: float = 20.0
+    # M20K packing efficiency for unstructured local memories.
+    m20k_packing: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0 < self.m20k_packing <= 1:
+            raise SynthesisError(
+                f"m20k_packing must be in (0, 1], got {self.m20k_packing}")
+
+
+DEFAULT_COSTS = CostTable()
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Static description of a channel (for area accounting)."""
+
+    depth: int
+    width_bits: int = 32
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.depth < 0 or self.width_bits < 1 or self.count < 1:
+            raise SynthesisError(f"invalid channel spec {self}")
+
+
+class CostModel:
+    """Maps resource profiles and channel specs to resource vectors."""
+
+    def __init__(self, costs: Optional[CostTable] = None,
+                 bits_per_block: int = 20_480) -> None:
+        self.costs = costs or DEFAULT_COSTS
+        self.bits_per_block = bits_per_block
+
+    def profile_vector(self, profile: ResourceProfile) -> ResourceVector:
+        """Area of one compute unit of a kernel."""
+        c = self.costs
+        alms = (
+            profile.load_sites * c.load_alms
+            + profile.store_sites * c.store_alms
+            + profile.adders * c.adder_alms
+            + profile.multipliers * c.multiplier_alms
+            + profile.logic_ops * c.logic_op_alms
+            + profile.channel_endpoints * c.channel_endpoint_alms
+            + profile.control_states * c.control_state_alms
+            + profile.hdl_modules * c.hdl_module_alms
+        )
+        registers = (
+            profile.load_sites * c.load_registers
+            + profile.store_sites * c.store_registers
+            + profile.adders * c.adder_registers
+            + profile.multipliers * c.multiplier_registers
+            + profile.logic_ops * c.logic_op_registers
+            + profile.channel_endpoints * c.channel_endpoint_registers
+            + profile.control_states * c.control_state_registers
+            + profile.extra_registers
+        )
+        memory_bits = (
+            profile.load_sites * c.load_cache_bits
+            + profile.store_sites * c.store_cache_bits
+            + profile.local_memory_bits
+        )
+        ram_blocks = self.blocks_for(profile)
+        dsps = profile.multipliers * c.multiplier_dsps
+        return ResourceVector(alms=alms, registers=registers,
+                              memory_bits=memory_bits, ram_blocks=ram_blocks,
+                              dsps=dsps)
+
+    def blocks_for(self, profile: ResourceProfile) -> int:
+        """M20K blocks for a kernel's memories.
+
+        A structural declaration (banked memories) wins; otherwise bits are
+        packed at the table's efficiency. LSU caches are charged one block
+        each (they are small but dedicated).
+        """
+        lsu_blocks = profile.load_sites + profile.store_sites
+        if profile.ram_blocks_structural:
+            return profile.ram_blocks_structural + lsu_blocks
+        if profile.local_memory_bits <= 0:
+            return lsu_blocks
+        packed = profile.local_memory_bits / (self.bits_per_block * self.costs.m20k_packing)
+        return int(math.ceil(packed)) + lsu_blocks
+
+    def channel_vector(self, spec: ChannelSpec) -> ResourceVector:
+        """Area of a channel's FIFO storage (endpoints are charged to kernels)."""
+        c = self.costs
+        bits = spec.depth * spec.width_bits
+        if bits == 0:
+            # Depth-0 channels are a register plus handshake.
+            return ResourceVector(alms=4.0 * spec.count,
+                                  registers=float(spec.width_bits) * spec.count)
+        if bits <= c.mlab_threshold_bits:
+            return ResourceVector(alms=c.mlab_alms_per_fifo * spec.count,
+                                  registers=16.0 * spec.count)
+        blocks = int(math.ceil(bits / (self.bits_per_block * c.m20k_packing)))
+        return ResourceVector(memory_bits=float(bits) * spec.count,
+                              ram_blocks=blocks * spec.count,
+                              registers=24.0 * spec.count,
+                              alms=12.0 * spec.count)

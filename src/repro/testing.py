@@ -1,0 +1,81 @@
+"""Test utilities for downstream users of the library.
+
+Importable helpers (no pytest dependency at import time) that build
+common rigs in one call: a fabric with filled buffers, an instrumented
+matmul, a monitored run with its profile. Used by this repository's own
+examples and intended for users writing regression tests against their
+simulated designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.stall_monitor import LatencySample, StallMonitor
+from repro.kernels.matmul import MatMulKernel, allocate_matmul_buffers
+from repro.memory.global_memory import GlobalMemoryConfig
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.fabric import Fabric
+from repro.pipeline.kernel import Kernel
+
+
+def make_fabric(memory_config: Optional[GlobalMemoryConfig] = None,
+                **buffers) -> Fabric:
+    """A fabric with the given buffers allocated and filled.
+
+    Keyword arguments map buffer names to either an int (size, zeroed) or
+    an array-like (size + contents)::
+
+        fabric = make_fabric(src=np.arange(64), dst=64)
+    """
+    fabric = Fabric(memory_config=memory_config)
+    for name, spec in buffers.items():
+        if isinstance(spec, int):
+            fabric.memory.allocate(name, spec)
+        else:
+            data = np.asarray(spec)
+            fabric.memory.allocate(name, len(data)).fill(data)
+    return fabric
+
+
+@dataclass
+class MonitoredRun:
+    """Everything a monitored kernel launch produced."""
+
+    fabric: Fabric
+    engine: PipelineEngine
+    monitor: StallMonitor
+
+    @property
+    def latencies(self) -> Sequence[LatencySample]:
+        """Paired site-0/site-1 latency samples."""
+        return self.monitor.latencies(0, 1)
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles of the launch."""
+        return self.engine.stats.total_cycles
+
+
+def run_monitored_matmul(rows_a: int = 4, col_a: int = 8, col_b: int = 4,
+                         depth: int = 512,
+                         memory_config: Optional[GlobalMemoryConfig] = None
+                         ) -> MonitoredRun:
+    """The §5.1 rig in one call: instrumented matmul, run to completion."""
+    fabric = Fabric(memory_config=memory_config)
+    monitor = StallMonitor(fabric, sites=2, depth=depth)
+    kernel = MatMulKernel(stall_monitor=monitor)
+    allocate_matmul_buffers(fabric, rows_a, col_a, col_b)
+    engine = fabric.run_kernel(kernel, {"rows_a": rows_a, "col_a": col_a,
+                                        "col_b": col_b})
+    return MonitoredRun(fabric=fabric, engine=engine, monitor=monitor)
+
+
+def run_monitored(fabric: Fabric, kernel: Kernel, args: Dict[str, Any],
+                  monitor: StallMonitor) -> MonitoredRun:
+    """Run an already-instrumented kernel and bundle the results."""
+    engine = fabric.run_kernel(kernel, args)
+    return MonitoredRun(fabric=fabric, engine=engine, monitor=monitor)

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.fabric import Fabric
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def fabric() -> Fabric:
+    """A fresh fabric (simulator + channels + memory)."""
+    return Fabric()

@@ -1,0 +1,96 @@
+"""Unit tests for loop-carried reduction accumulators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.pipeline.accumulator import Accumulator
+
+
+class TestAccumulate:
+    def test_sum_by_key(self, sim):
+        acc = Accumulator(sim, "sum")
+        acc.add("k0", 3)
+        acc.add("k0", 4)
+        acc.add("k1", 10)
+        assert acc.value("k0") == 7
+        assert acc.value("k1") == 10
+        assert acc.count("k0") == 2
+
+    def test_custom_op_and_init(self, sim):
+        acc = Accumulator(sim, "max", op=max, init=float("-inf"))
+        acc.add("k", 5)
+        acc.add("k", 2)
+        assert acc.value("k") == 5
+
+    def test_untouched_key_returns_init(self, sim):
+        acc = Accumulator(sim, "sum")
+        assert acc.value("ghost") == 0
+        assert acc.count("ghost") == 0
+
+
+class TestCollect:
+    def test_collect_fires_when_expected_reached(self, sim):
+        acc = Accumulator(sim, "sum")
+        results = []
+        def waiter():
+            value = yield acc.collect("k", expected=3)
+            results.append((sim.now, value))
+        def producer():
+            for index in range(3):
+                yield sim.timeout(2)
+                acc.add("k", index)
+        sim.process(waiter())
+        sim.process(producer())
+        sim.run()
+        assert results == [(6, 3)]
+
+    def test_collect_already_satisfied_fires_immediately(self, sim):
+        acc = Accumulator(sim, "sum")
+        acc.add("k", 1)
+        event = acc.collect("k", expected=1)
+        assert event.triggered
+        assert event.value == 1
+
+    def test_collect_zero_expected(self, sim):
+        acc = Accumulator(sim, "sum")
+        event = acc.collect("k", expected=0)
+        assert event.triggered
+        assert event.value == 0
+
+    def test_negative_expected_rejected(self, sim):
+        acc = Accumulator(sim, "sum")
+        with pytest.raises(KernelError):
+            acc.collect("k", expected=-1)
+
+    def test_independent_keys_do_not_cross_fire(self, sim):
+        acc = Accumulator(sim, "sum")
+        event = acc.collect("a", expected=1)
+        acc.add("b", 1)
+        assert not event.triggered
+        acc.add("a", 5)
+        assert event.triggered
+
+    def test_contribution_order_does_not_matter(self, sim):
+        acc = Accumulator(sim, "sum")
+        event = acc.collect("k", expected=4)
+        for value in (4, 1, 3, 2):
+            acc.add("k", value)
+        assert event.value == 10
+
+
+class TestReset:
+    def test_reset_single_key(self, sim):
+        acc = Accumulator(sim, "sum")
+        acc.add("a", 1)
+        acc.add("b", 2)
+        acc.reset("a")
+        assert acc.value("a") == 0
+        assert acc.value("b") == 2
+
+    def test_reset_all(self, sim):
+        acc = Accumulator(sim, "sum")
+        acc.add("a", 1)
+        acc.reset()
+        assert acc.count("a") == 0

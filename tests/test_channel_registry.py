@@ -1,0 +1,69 @@
+"""Unit tests for channel namespaces and arrays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels.registry import ChannelArray, ChannelNamespace
+from repro.errors import ChannelUsageError
+
+
+class TestChannelNamespace:
+    def test_declare_and_get(self, sim):
+        namespace = ChannelNamespace(sim)
+        declared = namespace.declare("time_ch", depth=0)
+        assert namespace.get("time_ch") is declared
+
+    def test_double_declaration_rejected(self, sim):
+        namespace = ChannelNamespace(sim)
+        namespace.declare("c")
+        with pytest.raises(ChannelUsageError):
+            namespace.declare("c")
+
+    def test_scalar_and_array_share_namespace(self, sim):
+        namespace = ChannelNamespace(sim)
+        namespace.declare_array("data", 4)
+        with pytest.raises(ChannelUsageError):
+            namespace.declare("data")
+
+    def test_unknown_lookup_raises(self, sim):
+        namespace = ChannelNamespace(sim)
+        with pytest.raises(ChannelUsageError):
+            namespace.get("nope")
+        with pytest.raises(ChannelUsageError):
+            namespace.get_array("nope")
+
+    def test_all_channels_flattens_arrays(self, sim):
+        namespace = ChannelNamespace(sim)
+        namespace.declare("s")
+        namespace.declare_array("a", 3)
+        assert len(namespace.all_channels()) == 4
+
+    def test_stats_table_keys(self, sim):
+        namespace = ChannelNamespace(sim)
+        namespace.declare("s", depth=2)
+        namespace.get("s").write_nb(1)
+        table = namespace.stats_table()
+        assert table["s"]["writes"] == 1
+
+
+class TestChannelArray:
+    def test_indexing_and_len(self, sim):
+        array = ChannelArray(sim, "cmd_c", 10, depth=4)
+        assert len(array) == 10
+        assert array[3].name == "cmd_c[3]"
+
+    def test_zero_count_rejected(self, sim):
+        with pytest.raises(ChannelUsageError):
+            ChannelArray(sim, "x", 0)
+
+    def test_per_element_independence(self, sim):
+        array = ChannelArray(sim, "data", 2, depth=1)
+        array[0].write_nb("only-zero")
+        assert array[1].read_nb() == (None, False)
+        assert array[0].read_nb() == ("only-zero", True)
+
+    def test_iteration_order(self, sim):
+        array = ChannelArray(sim, "c", 3)
+        names = [channel.name for channel in array]
+        assert names == ["c[0]", "c[1]", "c[2]"]

@@ -1,0 +1,41 @@
+"""Tests for the command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig2", "--n", "4", "--num", "6"])
+        assert args.experiment == "fig2"
+        assert args.n == 4
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--n", "4", "--num", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "info_seq[" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--depth", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "base" in out
+
+    def test_limitations(self, capsys):
+        assert main(["limitations"]) == 0
+        assert "stale" in capsys.readouterr().out
+
+    def test_sec52(self, capsys):
+        assert main(["sec52"]) == 0
+        assert "bound violations" in capsys.readouterr().out

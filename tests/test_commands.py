@@ -1,0 +1,68 @@
+"""Unit tests for the ibuffer state machine (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commands import (
+    COMMAND_TRANSITIONS,
+    IBufferCommand,
+    IBufferState,
+    SamplingMode,
+    next_state,
+)
+from repro.errors import IBufferError
+
+
+class TestTransitions:
+    def test_reset_to_sample(self):
+        assert next_state(IBufferState.RESET,
+                          IBufferCommand.SAMPLE) == IBufferState.SAMPLE
+
+    def test_sample_to_stop(self):
+        assert next_state(IBufferState.SAMPLE,
+                          IBufferCommand.STOP) == IBufferState.STOP
+
+    def test_stop_to_read(self):
+        assert next_state(IBufferState.STOP,
+                          IBufferCommand.READ) == IBufferState.READ
+
+    def test_sample_to_read_allowed(self):
+        assert next_state(IBufferState.SAMPLE,
+                          IBufferCommand.READ) == IBufferState.READ
+
+    def test_any_state_resets(self):
+        for state in IBufferState:
+            assert next_state(state, IBufferCommand.RESET) == IBufferState.RESET
+
+    def test_illegal_command_ignored_not_raised(self):
+        # READ -> SAMPLE without a RESET would corrupt the read pointer;
+        # hardware ignores it.
+        assert next_state(IBufferState.READ,
+                          IBufferCommand.SAMPLE) == IBufferState.READ
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(IBufferError):
+            next_state(IBufferState.RESET, 99)
+
+    def test_int_command_coerced(self):
+        assert next_state(IBufferState.RESET, 1) == IBufferState.SAMPLE
+
+    def test_transition_table_only_contains_valid_pairs(self):
+        for (state, command), target in COMMAND_TRANSITIONS.items():
+            assert isinstance(state, IBufferState)
+            assert isinstance(command, IBufferCommand)
+            assert isinstance(target, IBufferState)
+
+
+class TestEnums:
+    def test_sampling_modes(self):
+        assert SamplingMode.LINEAR != SamplingMode.CYCLIC
+
+    def test_command_values_stable_for_channel_encoding(self):
+        # These integer encodings cross the command channel; they must not
+        # drift between releases.
+        assert int(IBufferCommand.RESET) == 0
+        assert int(IBufferCommand.SAMPLE) == 1
+        assert int(IBufferCommand.STOP) == 2
+        assert int(IBufferCommand.READ) == 3

@@ -1,0 +1,77 @@
+"""Tests for JSON/CSV exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    csv_to_entries,
+    entries_to_csv,
+    entries_to_json,
+    latency_samples_to_csv,
+    synthesis_report_to_dict,
+    synthesis_report_to_json,
+)
+from repro.core.stall_monitor import LatencySample
+from repro.errors import TraceDecodeError
+
+
+class TestEntriesCSV:
+    def test_roundtrip(self):
+        entries = [{"timestamp": 5, "value": 10},
+                   {"timestamp": 7, "value": -3}]
+        assert csv_to_entries(entries_to_csv(entries)) == entries
+
+    def test_header_order_stable(self):
+        entries = [{"b": 1, "a": 2}]
+        assert entries_to_csv(entries).splitlines()[0] == "b,a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            entries_to_csv([])
+
+    def test_inconsistent_fields_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            entries_to_csv([{"a": 1}, {"b": 2}])
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            csv_to_entries("a,b\n1\n")
+
+
+class TestEntriesJSON:
+    def test_valid_json(self):
+        entries = [{"timestamp": 1, "value": 2}]
+        assert json.loads(entries_to_json(entries)) == entries
+
+
+class TestLatencyCSV:
+    def test_columns(self):
+        samples = [LatencySample(start_cycle=10, end_cycle=25,
+                                 start_value=1, end_value=2)]
+        document = latency_samples_to_csv(samples)
+        assert "10,25,15,1,2" in document
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            latency_samples_to_csv([])
+
+
+class TestSynthesisExport:
+    def _report(self):
+        from repro.kernels.matmul import MatMulKernel
+        from repro.synthesis import Design, synthesize
+        return synthesize(Design("d", kernels=[MatMulKernel()]))
+
+    def test_dict_shape(self):
+        data = synthesis_report_to_dict(self._report())
+        assert data["fmax_mhz"] > 0
+        assert "matmul" in data["per_kernel"]
+        assert set(data["total"]) == {"alms", "registers", "memory_bits",
+                                      "ram_blocks", "dsps"}
+
+    def test_json_parses(self):
+        data = json.loads(synthesis_report_to_json(self._report()))
+        assert data["device"].startswith("Stratix")

@@ -1,0 +1,214 @@
+"""Unit tests for the OpenCL-C frontend: lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import FrontendError, tokenize
+from repro.frontend.parser import parse
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("int x = 0x10; // comment\nwhile")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert ("type", "int") in kinds
+        assert ("ident", "x") in kinds
+        assert ("number", "0x10") in kinds
+        assert ("keyword", "while") in kinds
+        assert kinds[-1] == ("eof", "")
+
+    def test_comments_stripped(self):
+        tokens = tokenize("/* block\ncomment */ x //line\n y")
+        assert [t.text for t in tokens[:-1]] == ["x", "y"]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a += b ++ <= == &&")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["a", "+=", "b", "++", "<=", "==", "&&"]
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(FrontendError):
+            tokenize("int x = `;")
+
+
+class TestChannelDecls:
+    def test_scalar_with_depth(self):
+        program = parse(
+            "channel int time_ch1 __attribute__((depth(0)));")
+        declaration = program.channels[0]
+        assert declaration.name == "time_ch1"
+        assert declaration.count is None
+        assert declaration.depth == 0
+
+    def test_array(self):
+        program = parse("channel int data_in[10];")
+        assert program.channels[0].count == 10
+        assert program.channels[0].depth is None
+
+
+class TestKernelDefs:
+    def test_autorun_attribute(self):
+        program = parse("""
+            __attribute__((autorun))
+            __kernel void srv(void) { }
+        """)
+        assert program.kernels[0].is_autorun
+
+    def test_num_compute_units(self):
+        program = parse("""
+            __attribute__((num_compute_units(10, 1)))
+            __kernel void state_machine(void) { }
+        """)
+        assert program.kernels[0].num_compute_units == 10
+
+    def test_parameters(self):
+        program = parse(
+            "__kernel void k(__global int* x, int n) { }")
+        parameters = program.kernels[0].parameters
+        assert parameters[0].is_global_pointer
+        assert not parameters[1].is_global_pointer
+
+    def test_kernel_lookup(self):
+        program = parse("__kernel void a(void) { } __kernel void b(void) { }")
+        assert program.kernel("b").name == "b"
+        with pytest.raises(KeyError):
+            program.kernel("c")
+
+    def test_missing_kernel_keyword_rejected(self):
+        with pytest.raises(FrontendError):
+            parse("void f() { }")
+
+
+class TestStatements:
+    def _body(self, source):
+        return parse(f"__kernel void k(void) {{ {source} }}").kernels[0].body
+
+    def test_declaration_with_initializers(self):
+        block = self._body("int a = 1, b;")
+        declaration = block.statements[0]
+        assert isinstance(declaration, ast.Declaration)
+        assert declaration.names[0][0] == "a"
+        assert declaration.names[1][1] is None
+
+    def test_if_else(self):
+        block = self._body("if (a < 1) b = 1; else b = 2;")
+        assert isinstance(block.statements[0], ast.If)
+        assert block.statements[0].else_branch is not None
+
+    def test_for_loop_parts(self):
+        block = self._body("for (int i = 0; i < 10; i++) { }")
+        loop = block.statements[0]
+        assert isinstance(loop.init, ast.Declaration)
+        assert isinstance(loop.condition, ast.Binary)
+        assert isinstance(loop.step, ast.IncDec)
+
+    def test_infinite_while(self):
+        block = self._body("while (1) { count++; }")
+        assert isinstance(block.statements[0], ast.While)
+
+    def test_break_continue_return(self):
+        block = self._body("break; continue; return;")
+        kinds = [type(s) for s in block.statements]
+        assert kinds == [ast.Break, ast.Continue, ast.Return]
+
+
+class TestExpressions:
+    def _expr(self, source):
+        block = parse(f"__kernel void k(void) {{ x = {source}; }}"
+                      ).kernels[0].body
+        return block.statements[0].expr.value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = self._expr("(a + b) * c")
+        assert expr.op == "*"
+
+    def test_subscript_and_call(self):
+        expr = self._expr("read_channel_altera(data_in[3])")
+        assert isinstance(expr, ast.Call)
+        assert isinstance(expr.args[0], ast.Subscript)
+
+    def test_cast(self):
+        expr = self._expr("(size_t) p")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "size_t"
+
+    def test_address_of(self):
+        expr = self._expr("(size_t) &a[0]")
+        assert isinstance(expr.operand, ast.AddressOf)
+
+    def test_compound_assignment(self):
+        block = parse("__kernel void k(void) { sum += 2; }").kernels[0].body
+        assert block.statements[0].expr.op == "+="
+
+    def test_invalid_assignment_target_rejected(self):
+        with pytest.raises(FrontendError):
+            parse("__kernel void k(void) { 1 = 2; }")
+
+    def test_unexpected_token_reported_with_line(self):
+        with pytest.raises(FrontendError, match="line"):
+            parse("__kernel void k(void) { x = ; }")
+
+
+class TestPaperListings:
+    """The paper's listings must parse verbatim (modulo OCR whitespace)."""
+
+    LISTING_1 = """
+        channel int time_ch1 __attribute__((depth(0)));
+        __attribute__((autorun))
+        __kernel void timer_srv(void) {
+            int count = 0;
+            while (1) {
+                bool success;
+                count++;
+                success = write_channel_nb_altera(time_ch1, count);
+            }
+        }
+    """
+
+    LISTING_5 = """
+        channel int seq_ch __attribute__((depth(0)));
+        __attribute__((autorun))
+        __kernel void seq_srv(void) {
+            int count = 0;
+            while (1) {
+                count++;
+                write_channel_altera(seq_ch, count);
+            }
+        }
+    """
+
+    LISTING_10_SHAPE = """
+        channel int cmd_c[10];
+        channel int out_c[10];
+        __kernel void read_host(int cmd, int id, __global int* output) {
+            for (int i = 0; i < 10; i++) {
+                if (i == id) write_channel_altera(cmd_c[i], cmd);
+            }
+            if (cmd == 3) {
+                for (int k = 0; k < 1024; k++) {
+                    for (int i = 0; i < 10; i++) {
+                        if (i == id) {
+                            output[k] = read_channel_altera(out_c[id]);
+                        }
+                    }
+                }
+            }
+        }
+    """
+
+    @pytest.mark.parametrize("listing", [LISTING_1, LISTING_5,
+                                         LISTING_10_SHAPE])
+    def test_parses(self, listing):
+        program = parse(listing)
+        assert program.kernels

@@ -1,0 +1,187 @@
+"""Tests for the mini OpenCL host runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import HostAPIError
+from repro.host import (
+    CommandQueue,
+    Context,
+    Program,
+    default_device,
+    get_platforms,
+)
+from repro.host.event import EventStatus
+from repro.kernels.vecadd import VecAddKernel
+from repro.pipeline.kernel import AutorunKernel, SingleTaskKernel
+
+
+class TestPlatformEnumeration:
+    def test_three_devices(self):
+        platforms = get_platforms()
+        assert len(platforms) == 1
+        assert len(platforms[0].devices) == 3
+
+    def test_default_device_is_stratix_v(self):
+        assert "Stratix V" in default_device().name
+
+
+class TestContextAndBuffers:
+    def test_create_and_lookup(self):
+        context = Context()
+        buffer = context.create_buffer("a", 8)
+        assert context.buffer("a") is buffer
+        assert len(buffer) == 8
+
+    def test_duplicate_name_rejected(self):
+        context = Context()
+        context.create_buffer("a", 4)
+        with pytest.raises(HostAPIError):
+            context.create_buffer("a", 4)
+
+    def test_unknown_buffer_rejected(self):
+        with pytest.raises(HostAPIError):
+            Context().buffer("ghost")
+
+    def test_write_read_roundtrip(self):
+        context = Context()
+        buffer = context.create_buffer("a", 4)
+        buffer.write([1, 2, 3, 4])
+        assert list(buffer.read()) == [1, 2, 3, 4]
+
+    def test_address_of_usable_for_watchpoints(self):
+        context = Context()
+        buffer = context.create_buffer("a", 4)
+        assert buffer.address_of(2) == buffer.base_address + 16
+
+
+class TestCommandQueue:
+    def _vecadd_context(self, n=8):
+        context = Context()
+        context.create_buffer("a", n).write(np.arange(n))
+        context.create_buffer("b", n).write(np.arange(n))
+        context.create_buffer("c", n)
+        return context
+
+    def test_enqueue_and_finish(self):
+        context = self._vecadd_context()
+        queue = CommandQueue(context)
+        event = queue.enqueue_kernel(VecAddKernel(), {"n": 8})
+        queue.finish()
+        assert event.is_complete
+        assert list(context.buffer("c").read()) == [2 * i for i in range(8)]
+
+    def test_in_order_execution(self):
+        """The second kernel must not start before the first finishes."""
+        context = Context()
+        context.create_buffer("data", 1)
+        order = []
+        class Stamp(SingleTaskKernel):
+            def __init__(self, tag):
+                super().__init__(name=f"stamp_{tag}")
+                self.tag = tag
+            def iteration_space(self, args):
+                return [0]
+            def body(self, ctx):
+                order.append((self.tag, "start", ctx.now))
+                yield ctx.compute(50)
+                order.append((self.tag, "end", ctx.now))
+        queue = CommandQueue(context)
+        queue.enqueue_kernel(Stamp("first"), {})
+        queue.enqueue_kernel(Stamp("second"), {})
+        queue.finish()
+        assert order[0][:2] == ("first", "start")
+        assert order[1][:2] == ("first", "end")
+        first_end = order[1][2]
+        assert order[2] == ("second", "start", first_end)
+
+    def test_autorun_enqueue_rejected(self):
+        context = Context()
+        class Auto(AutorunKernel):
+            def body(self, ctx):
+                while True:
+                    yield ctx.cycle()
+        queue = CommandQueue(context)
+        with pytest.raises(HostAPIError):
+            queue.enqueue_kernel(Auto(name="auto"))
+
+    def test_profiling_info_available_after_finish(self):
+        context = self._vecadd_context()
+        queue = CommandQueue(context)
+        event = queue.enqueue_kernel(VecAddKernel(), {"n": 8})
+        with pytest.raises(HostAPIError):
+            event.profiling_info()  # not complete yet
+        queue.finish()
+        info = event.profiling_info()
+        assert info["duration"] > 0
+        assert info["end"] >= info["start"] >= info["queued"]
+
+    def test_events_listed_in_order(self):
+        context = self._vecadd_context()
+        queue = CommandQueue(context)
+        queue.enqueue_kernel(VecAddKernel(), {"n": 8})
+        queue.finish()
+        events = queue.events()
+        assert len(events) == 1
+        assert events[0].status == EventStatus.COMPLETE
+
+
+class TestProgram:
+    def test_kernel_lookup(self):
+        context = Context()
+        kernel = VecAddKernel()
+        program = Program(context, [kernel])
+        assert program.kernel("vecadd") is kernel
+        with pytest.raises(HostAPIError):
+            program.kernel("missing")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(HostAPIError):
+            Program(Context(), [])
+
+    def test_duplicate_kernel_names_rejected(self):
+        with pytest.raises(HostAPIError):
+            Program(Context(), [VecAddKernel(), VecAddKernel()])
+
+    def test_synthesis_report_covers_declared_channels(self):
+        context = Context()
+        context.fabric.channels.declare("probe", depth=1024, width_bits=64)
+        program = Program(context, [VecAddKernel()])
+        report = program.synthesis_report()
+        assert report.channels.memory_bits == 1024 * 64
+        assert report.fmax_mhz > 0
+
+
+class TestContextCompile:
+    def test_compile_and_enqueue_from_source(self):
+        context = Context()
+        program = context.compile("""
+            __kernel void triple(__global int* data, int n) {
+                for (int i = 0; i < n; i++) {
+                    data[i] = data[i] * 3;
+                }
+            }
+        """)
+        buffer = context.create_buffer("data", 5)
+        buffer.write([1, 2, 3, 4, 5])
+        queue = CommandQueue(context)
+        queue.enqueue_kernel(program.kernel("triple"), {"data": "data", "n": 5})
+        queue.finish()
+        assert list(buffer.read()) == [3, 6, 9, 12, 15]
+
+    def test_compile_links_context_hdl_library(self):
+        context = Context()
+        context.hdl_library.add_get_time()
+        program = context.compile("""
+            __kernel void timed(__global int* out) {
+                out[0] = get_time(0);
+            }
+        """)
+        context.create_buffer("out", 1)
+        queue = CommandQueue(context)
+        context.fabric.advance(25)
+        queue.enqueue_kernel(program.kernel("timed"), {"out": "out"})
+        queue.finish()
+        assert context.buffer("out").read()[0] >= 25

@@ -1,0 +1,190 @@
+"""Integration tests for the ibuffer autorun kernel (Listing 8 / Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commands import IBufferCommand, IBufferState, SamplingMode
+from repro.core.ibuffer import IBuffer, IBufferConfig
+from repro.core.logic_blocks import RawRecorderLogic, StallMonitorLogic
+from repro.errors import IBufferError
+from repro.pipeline.fabric import Fabric
+from repro.pipeline.kernel import SingleTaskKernel
+
+
+class WriterKernel(SingleTaskKernel):
+    """Feeds n values into one ibuffer data channel, one per iteration."""
+
+    def __init__(self, ibuffer, unit=0, **kw):
+        super().__init__(**kw)
+        self.ibuffer = ibuffer
+        self.unit = unit
+
+    def iteration_space(self, args):
+        return range(args["n"])
+
+    def body(self, ctx):
+        ctx.write_channel_nb(self.ibuffer.data_c[self.unit], ctx.iteration)
+        yield ctx.compute(1)
+
+
+def _ibuffer(fabric, **config_kw):
+    defaults = dict(count=1, depth=8)
+    defaults.update(config_kw)
+    return IBuffer(fabric, "ib", logic_factory=lambda cu: RawRecorderLogic(),
+                   config=IBufferConfig(**defaults))
+
+
+class TestConstruction:
+    def test_channels_declared_in_namespace(self, fabric):
+        ibuffer = _ibuffer(fabric, count=3)
+        assert len(fabric.channels.get_array("ib_cmd_c")) == 3
+        assert len(fabric.channels.get_array("ib_data_in")) == 3
+        assert len(fabric.channels.get_array("ib_out_c")) == 3
+
+    def test_aux_channel_optional(self, fabric):
+        ibuffer = _ibuffer(fabric, use_aux_channel=True)
+        assert ibuffer.addr_c is not None
+
+    def test_heterogeneous_layouts_rejected(self, fabric):
+        factories = [RawRecorderLogic(), StallMonitorLogic(0)]
+        with pytest.raises(IBufferError):
+            IBuffer(fabric, "bad", logic_factory=lambda cu: factories[cu],
+                    config=IBufferConfig(count=2, depth=4))
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(IBufferError):
+            IBufferConfig(count=0)
+        with pytest.raises(IBufferError):
+            IBufferConfig(depth=0)
+
+    def test_autorun_starts_at_programming(self, fabric):
+        ibuffer = _ibuffer(fabric)
+        fabric.advance(3)
+        assert ibuffer.states[0] == IBufferState.SAMPLE  # default initial
+
+
+class TestSampling:
+    def test_records_arriving_data_with_timestamps(self, fabric):
+        ibuffer = _ibuffer(fabric, depth=16)
+        fabric.run_kernel(WriterKernel(ibuffer, name="writer"), {"n": 5})
+        entries = ibuffer.trace_buffers[0].entries()
+        assert [e["value"] for e in entries] == [0, 1, 2, 3, 4]
+        stamps = [e["timestamp"] for e in entries]
+        assert stamps == sorted(stamps)
+
+    def test_timestamp_equals_arrival_cycle(self, fabric):
+        """The datum written at cycle t is stamped t (taken in the ibuffer
+        when data is available at the input channel)."""
+        ibuffer = _ibuffer(fabric, depth=4)
+        def probe():
+            yield fabric.sim.timeout(10)
+            ibuffer.data_c[0].write_nb(99)
+        fabric.sim.process(probe())
+        fabric.advance(12)
+        entries = ibuffer.trace_buffers[0].entries()
+        assert entries == [{"timestamp": 10, "value": 99}]
+
+    def test_caller_never_stalls(self, fabric):
+        """Non-blocking writes succeed every cycle — the stall-free property."""
+        ibuffer = _ibuffer(fabric, depth=64)
+        results = []
+        class Burst(SingleTaskKernel):
+            def iteration_space(self, args):
+                return range(20)
+            def body(self, ctx):
+                results.append(ctx.write_channel_nb(ibuffer.data_c[0],
+                                                    ctx.iteration))
+                yield ctx.compute(1)
+        fabric.run_kernel(Burst(name="burst"), {})
+        assert all(results)
+
+    def test_linear_buffer_stops_when_full(self, fabric):
+        ibuffer = _ibuffer(fabric, depth=3, mode=SamplingMode.LINEAR)
+        fabric.run_kernel(WriterKernel(ibuffer, name="writer"), {"n": 10})
+        trace = ibuffer.trace_buffers[0]
+        assert trace.valid_entries == 3
+        assert trace.dropped == 7
+
+    def test_cyclic_buffer_keeps_newest(self, fabric):
+        ibuffer = _ibuffer(fabric, depth=3, mode=SamplingMode.CYCLIC)
+        fabric.run_kernel(WriterKernel(ibuffer, name="writer"), {"n": 10})
+        values = [e["value"] for e in ibuffer.trace_buffers[0].entries()]
+        assert values == [7, 8, 9]
+
+
+class TestCommandProtocol:
+    def _send(self, fabric, ibuffer, command, unit=0):
+        ibuffer.cmd_c[unit].write_nb(int(command))
+        fabric.advance(2)
+
+    def test_stop_freezes_sampling(self, fabric):
+        ibuffer = _ibuffer(fabric, depth=16)
+        self._send(fabric, ibuffer, IBufferCommand.STOP)
+        assert ibuffer.states[0] == IBufferState.STOP
+        ibuffer.data_c[0].write_nb(5)
+        fabric.advance(3)
+        assert ibuffer.trace_buffers[0].valid_entries == 0
+        assert ibuffer.samples_dropped[0] == 1
+
+    def test_reset_clears_trace(self, fabric):
+        ibuffer = _ibuffer(fabric, depth=16)
+        ibuffer.data_c[0].write_nb(5)
+        fabric.advance(3)
+        assert ibuffer.trace_buffers[0].valid_entries == 1
+        self._send(fabric, ibuffer, IBufferCommand.RESET)
+        assert ibuffer.trace_buffers[0].valid_entries == 0
+        assert ibuffer.states[0] == IBufferState.RESET
+
+    def test_initial_reset_state_waits_for_sample(self, fabric):
+        ibuffer = _ibuffer(fabric, depth=8,
+                           initial_state=IBufferState.RESET)
+        ibuffer.data_c[0].write_nb(1)
+        fabric.advance(3)
+        assert ibuffer.trace_buffers[0].valid_entries == 0
+        self._send(fabric, ibuffer, IBufferCommand.SAMPLE)
+        ibuffer.data_c[0].write_nb(2)
+        fabric.advance(3)
+        assert ibuffer.trace_buffers[0].valid_entries == 1
+
+    def test_read_drains_to_stop(self, fabric):
+        ibuffer = _ibuffer(fabric, depth=2)
+        ibuffer.data_c[0].write_nb(5)
+        fabric.advance(2)
+        self._send(fabric, ibuffer, IBufferCommand.STOP)
+        self._send(fabric, ibuffer, IBufferCommand.READ)
+        # Drain the output channel as a consumer would.
+        drained = []
+        def consumer():
+            for _ in range(ibuffer.words_per_readout):
+                value = yield from ibuffer.out_c[0].read()
+                drained.append(value)
+        fabric.sim.process(consumer())
+        fabric.advance(ibuffer.words_per_readout * 3 + 10)
+        assert len(drained) == ibuffer.words_per_readout
+        assert ibuffer.states[0] == IBufferState.STOP  # event-driven exit
+
+    def test_per_unit_independence(self, fabric):
+        ibuffer = _ibuffer(fabric, count=2, depth=8)
+        self._send(fabric, ibuffer, IBufferCommand.STOP, unit=0)
+        assert ibuffer.states[0] == IBufferState.STOP
+        assert ibuffer.states[1] == IBufferState.SAMPLE
+
+
+class TestResourceProfile:
+    def test_memory_bits_scale_with_depth(self, fabric):
+        small = _ibuffer(fabric, depth=8).resource_profile()
+        big_fabric = Fabric()
+        big = IBuffer(big_fabric, "ib", logic_factory=lambda cu: RawRecorderLogic(),
+                      config=IBufferConfig(count=1, depth=64)).resource_profile()
+        assert big.local_memory_bits == small.local_memory_bits * 8
+
+    def test_aux_channel_adds_endpoint(self, fabric):
+        without = _ibuffer(fabric).resource_profile()
+        aux_fabric = Fabric()
+        with_aux = IBuffer(aux_fabric, "ib",
+                           logic_factory=lambda cu: RawRecorderLogic(),
+                           config=IBufferConfig(count=1, depth=8,
+                                                use_aux_channel=True)
+                           ).resource_profile()
+        assert with_aux.channel_endpoints == without.channel_endpoints + 1

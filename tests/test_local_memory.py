@@ -1,0 +1,91 @@
+"""Unit tests for local (block-RAM) memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError
+from repro.memory.local_memory import LocalMemory, LocalMemoryConfig
+
+
+class TestValidation:
+    def test_zero_size_rejected(self, sim):
+        with pytest.raises(AddressError):
+            LocalMemory(sim, "m", 0)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(AddressError):
+            LocalMemoryConfig(latency=-1)
+        with pytest.raises(AddressError):
+            LocalMemoryConfig(banks=0)
+
+
+class TestZeroTimeAccess:
+    def test_poke_peek_roundtrip(self, sim):
+        memory = LocalMemory(sim, "m", 8)
+        memory.poke(3, 42)
+        assert memory.peek(3) == 42
+
+    def test_bounds_enforced(self, sim):
+        memory = LocalMemory(sim, "m", 4)
+        with pytest.raises(AddressError):
+            memory.poke(4, 0)
+        with pytest.raises(AddressError):
+            memory.peek(-1)
+
+
+class TestTimedAccess:
+    def test_load_takes_configured_latency(self, sim):
+        memory = LocalMemory(sim, "m", 8, config=LocalMemoryConfig(latency=1))
+        memory.poke(0, 5)
+        out = []
+        def body():
+            value = yield memory.load(0)
+            out.append((sim.now, value))
+        sim.process(body())
+        sim.run()
+        assert out == [(1, 5)]
+
+    def test_store_commits_at_latency(self, sim):
+        memory = LocalMemory(sim, "m", 8)
+        def body():
+            yield memory.store(2, 9)
+        sim.process(body())
+        sim.run()
+        assert memory.peek(2) == 9
+
+    def test_bank_conflict_adds_delay(self, sim):
+        memory = LocalMemory(sim, "m", 8, config=LocalMemoryConfig(banks=2))
+        done = []
+        def body():
+            # Indices 0 and 2 share bank 0 -> second access serializes.
+            a = memory.load(0)
+            b = memory.load(2)
+            a.add_callback(lambda e: done.append(("a", sim.now)))
+            b.add_callback(lambda e: done.append(("b", sim.now)))
+            yield sim.timeout(0)
+        sim.process(body())
+        sim.run()
+        assert dict(done)["b"] > dict(done)["a"]
+        assert memory.bank_conflicts == 1
+
+    def test_different_banks_no_conflict(self, sim):
+        memory = LocalMemory(sim, "m", 8, config=LocalMemoryConfig(banks=2))
+        done = []
+        def body():
+            a = memory.load(0)  # bank 0
+            b = memory.load(1)  # bank 1
+            a.add_callback(lambda e: done.append(sim.now))
+            b.add_callback(lambda e: done.append(sim.now))
+            yield sim.timeout(0)
+        sim.process(body())
+        sim.run()
+        assert done[0] == done[1]
+        assert memory.bank_conflicts == 0
+
+    def test_snapshot_copies(self, sim):
+        memory = LocalMemory(sim, "m", 4)
+        memory.poke(0, 1)
+        snap = memory.snapshot()
+        memory.poke(0, 2)
+        assert snap[0] == 1

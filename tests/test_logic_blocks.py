@@ -1,0 +1,156 @@
+"""Unit tests for ibuffer logic function blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.logic_blocks import (
+    KIND_BOUND_VIOLATION,
+    KIND_INVARIANCE_VIOLATION,
+    KIND_MATCH,
+    LogicBlock,
+    RawRecorderLogic,
+    StallMonitorLogic,
+    WatchpointLogic,
+)
+from repro.errors import IBufferError
+
+
+class TestRawRecorder:
+    def test_records_timestamp_and_value(self):
+        logic = RawRecorderLogic()
+        entries = list(logic.on_data(100, 42))
+        assert entries == [{"timestamp": 100, "value": 42}]
+
+    def test_base_class_on_data_abstract(self):
+        with pytest.raises(NotImplementedError):
+            list(LogicBlock().on_data(0, 0))
+
+
+class TestStallMonitorLogic:
+    def test_slot_tagging(self):
+        logic = StallMonitorLogic(slot=3)
+        entries = list(logic.on_data(55, 7))
+        assert entries == [{"timestamp": 55, "value": 7, "slot": 3}]
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(IBufferError):
+            StallMonitorLogic(slot=-1)
+
+
+class TestWatchpointLogicConfig:
+    def test_half_bounds_rejected(self):
+        with pytest.raises(IBufferError):
+            WatchpointLogic(bound_low=10, bound_high=None)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(IBufferError):
+            WatchpointLogic(bound_low=10, bound_high=10)
+
+    def test_zero_watch_slots_rejected(self):
+        with pytest.raises(IBufferError):
+            WatchpointLogic(max_watches=0)
+
+    def test_set_bounds_reconfigures(self):
+        logic = WatchpointLogic()
+        logic.set_bounds(0, 100)
+        assert logic.bound_low == 0
+        logic.set_bounds(None, None)
+        assert logic.bound_low is None
+
+    def test_set_bounds_validation(self):
+        logic = WatchpointLogic()
+        with pytest.raises(IBufferError):
+            logic.set_bounds(5, None)
+        with pytest.raises(IBufferError):
+            logic.set_bounds(9, 3)
+
+
+class TestWatchpointMatching:
+    def test_match_on_watched_address(self):
+        logic = WatchpointLogic()
+        logic.on_aux(0, 0x1000)
+        entries = list(logic.on_data(10, (0x1000, 77)))
+        assert entries == [{"timestamp": 10, "address": 0x1000, "tag": 77,
+                            "kind": KIND_MATCH}]
+
+    def test_non_watched_address_ignored(self):
+        logic = WatchpointLogic()
+        logic.on_aux(0, 0x1000)
+        assert list(logic.on_data(10, (0x2000, 0))) == []
+
+    def test_watch_capacity_limited(self):
+        logic = WatchpointLogic(max_watches=2)
+        for address in (1, 2, 3):
+            logic.on_aux(0, address)
+        assert logic.watches == (1, 2)
+
+    def test_duplicate_watch_ignored(self):
+        logic = WatchpointLogic(max_watches=2)
+        logic.on_aux(0, 5)
+        logic.on_aux(0, 5)
+        assert logic.watches == (5,)
+
+    def test_malformed_data_rejected(self):
+        logic = WatchpointLogic()
+        with pytest.raises(IBufferError):
+            list(logic.on_data(0, 42))
+
+
+class TestBoundChecking:
+    def test_out_of_bounds_flagged(self):
+        logic = WatchpointLogic(bound_low=100, bound_high=200)
+        entries = list(logic.on_data(5, (250, 1)))
+        assert entries[0]["kind"] == KIND_BOUND_VIOLATION
+        assert logic.violations == 1
+
+    def test_in_bounds_not_flagged(self):
+        logic = WatchpointLogic(bound_low=100, bound_high=200)
+        assert list(logic.on_data(5, (150, 1))) == []
+
+    def test_bound_is_half_open(self):
+        logic = WatchpointLogic(bound_low=100, bound_high=200)
+        assert list(logic.on_data(5, (100, 1))) == []     # low inclusive
+        assert list(logic.on_data(5, (200, 1)))           # high exclusive
+
+
+class TestInvarianceChecking:
+    def test_changed_value_flagged(self):
+        logic = WatchpointLogic(invariance=True)
+        logic.on_aux(0, 0x10)
+        list(logic.on_data(1, (0x10, 5)))
+        entries = list(logic.on_data(2, (0x10, 6)))
+        kinds = [e["kind"] for e in entries]
+        assert KIND_INVARIANCE_VIOLATION in kinds
+        assert logic.violations == 1
+
+    def test_same_value_not_flagged(self):
+        logic = WatchpointLogic(invariance=True)
+        logic.on_aux(0, 0x10)
+        list(logic.on_data(1, (0x10, 5)))
+        entries = list(logic.on_data(2, (0x10, 5)))
+        assert [e["kind"] for e in entries] == [KIND_MATCH]
+
+    def test_first_observation_never_violates(self):
+        logic = WatchpointLogic(invariance=True)
+        logic.on_aux(0, 0x10)
+        entries = list(logic.on_data(1, (0x10, 99)))
+        assert [e["kind"] for e in entries] == [KIND_MATCH]
+
+    def test_reset_clears_value_history_keeps_watches(self):
+        logic = WatchpointLogic(invariance=True)
+        logic.on_aux(0, 0x10)
+        list(logic.on_data(1, (0x10, 5)))
+        logic.on_reset()
+        assert logic.watches == (0x10,)
+        entries = list(logic.on_data(2, (0x10, 6)))
+        assert [e["kind"] for e in entries] == [KIND_MATCH]  # history gone
+
+
+class TestResourceProfiles:
+    def test_watchpoint_profile_scales_with_comparators(self):
+        small = WatchpointLogic(max_watches=1).resource_profile()
+        large = WatchpointLogic(max_watches=8,
+                                bound_low=0, bound_high=10).resource_profile()
+        assert large.logic_ops > small.logic_ops
+        assert large.extra_registers > small.extra_registers

@@ -1,0 +1,82 @@
+"""Tests for the minimal #define preprocessor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.lexer import FrontendError
+from repro.frontend.preprocessor import preprocess
+
+
+class TestPreprocess:
+    def test_define_substitutes_on_word_boundaries(self):
+        expanded, macros = preprocess("#define N 10\nint x[N]; int yN = N;")
+        assert "int x[10];" in expanded
+        assert "yN = 10" in expanded        # yN untouched, N expanded
+        assert "yN" in expanded
+        assert macros == {"N": "10"}
+
+    def test_trailing_comment_stripped(self):
+        expanded, macros = preprocess("#define DEPTH 1024 // trace depth\n")
+        assert macros["DEPTH"] == "1024"
+
+    def test_chained_defines_resolve(self):
+        _, macros = preprocess("#define A 4\n#define B A\nB")
+        assert macros["B"] == "4"
+
+    def test_undef_stops_expansion(self):
+        expanded, _ = preprocess("#define N 10\n#undef N\nint x = N;")
+        assert "int x = N;" in expanded
+
+    def test_line_numbers_preserved(self):
+        expanded, _ = preprocess("#define A 1\n\nint x = A;")
+        assert expanded.splitlines()[2] == "int x = 1;"
+
+    def test_function_macro_rejected(self):
+        with pytest.raises(FrontendError, match="function-like"):
+            preprocess("#define SQ(x) ((x)*(x))\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(FrontendError, match="unsupported"):
+            preprocess("#include <stdio.h>\n")
+
+    def test_predefined_macros(self):
+        expanded, _ = preprocess("int x = WIDTH;",
+                                 predefined={"WIDTH": "32"})
+        assert "int x = 32;" in expanded
+
+
+class TestPreprocessorInCompiler:
+    def test_listing10_style_defines_compile(self, fabric):
+        """The paper's Listing 10 opens with #define N / #define DEPTH."""
+        program = compile_source(fabric, """
+            #define N 3       // iBuffer Count
+            #define DEPTH 8   // Trace buffer depth
+            channel int cmd_c[N];
+            channel int out_c[N];
+
+            __kernel void read_host(int cmd, int id, __global int* output) {
+                for (int i = 0; i < N; i++) {
+                    if (i == id) write_channel_altera(cmd_c[i], cmd);
+                }
+                if (cmd == 3) {
+                    for (int k = 0; k < DEPTH; k++) {
+                        output[k] = read_channel_altera(out_c[id]);
+                    }
+                }
+            }
+        """)
+        assert len(fabric.channels.get_array("cmd_c")) == 3
+        assert program.macros["DEPTH"] == "8"
+
+    def test_defined_constants_usable_in_bodies(self, fabric):
+        program = compile_source(fabric, """
+            #define SCALE 7
+            __kernel void k(__global int* out) {
+                out[0] = SCALE * 6;
+            }
+        """)
+        fabric.memory.allocate("O", 1)
+        fabric.run_kernel(program.kernel("k"), {"out": "O"})
+        assert fabric.memory.buffer("O").read(0) == 42

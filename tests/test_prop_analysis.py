@@ -1,0 +1,69 @@
+"""Property-based tests on analysis invariants (timelines, gantt, stats)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.gantt import concurrency_profile, pipelining_speedup
+from repro.analysis.latency import summarize
+from repro.analysis.timeline import event_rate_timeline, occupancy_timeline
+from repro.core.stall_monitor import LatencySample
+
+_lifetimes = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(1, 200)).map(
+        lambda pair: (pair[0], pair[0] + pair[1])),
+    min_size=1, max_size=30)
+
+
+def _samples(lifetimes):
+    return [LatencySample(start_cycle=start, end_cycle=end,
+                          start_value=0, end_value=0)
+            for start, end in lifetimes]
+
+
+class TestOccupancyInvariants:
+    @given(lifetimes=_lifetimes,
+           bin_width=st.sampled_from([1, 7, 16, 64]))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_integral_equals_total_busy_time(self, lifetimes,
+                                                       bin_width):
+        """Σ(bin_occupancy × bin_width) == Σ lifetimes, regardless of binning."""
+        samples = _samples(lifetimes)
+        timeline = occupancy_timeline(samples, bin_width=bin_width)
+        integral = sum(timeline.values) * bin_width
+        total_busy = sum(end - start for start, end in lifetimes)
+        assert abs(integral - total_busy) < 1e-6
+
+    @given(lifetimes=_lifetimes)
+    @settings(max_examples=60, deadline=None)
+    def test_event_counts_conserved(self, lifetimes):
+        entries = [{"timestamp": start} for start, _ in lifetimes]
+        timeline = event_rate_timeline(entries, bin_width=16)
+        assert sum(timeline.values) == len(entries)
+
+
+class TestGanttInvariants:
+    @given(lifetimes=_lifetimes)
+    @settings(max_examples=60, deadline=None)
+    def test_concurrency_profile_starts_and_ends_at_zero(self, lifetimes):
+        tagged = [(index, start, end)
+                  for index, (start, end) in enumerate(lifetimes)]
+        profile = concurrency_profile(tagged)
+        assert profile[-1][1] == 0
+        assert all(level >= 0 for _, level in profile)
+
+    @given(lifetimes=_lifetimes)
+    @settings(max_examples=60, deadline=None)
+    def test_speedup_at_least_serial(self, lifetimes):
+        tagged = [(index, start, end)
+                  for index, (start, end) in enumerate(lifetimes)]
+        assert pipelining_speedup(tagged) > 0
+
+
+class TestStatsInvariants:
+    @given(lifetimes=_lifetimes)
+    @settings(max_examples=60, deadline=None)
+    def test_percentiles_ordered(self, lifetimes):
+        stats = summarize(_samples(lifetimes))
+        assert (stats.minimum <= stats.p50 <= stats.p95 <= stats.maximum)
+        assert stats.minimum <= stats.mean <= stats.maximum

@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for channels and stores."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.channel import Channel
+from repro.sim.core import Simulator
+from repro.sim.resources import Store
+
+#: Interleaved operation scripts: True = write (with the next value),
+#: False = read.
+_ops = st.lists(st.booleans(), min_size=1, max_size=60)
+
+
+class TestFifoChannelProperties:
+    @given(ops=_ops, depth=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_matches_reference_deque(self, ops, depth):
+        """Non-blocking op sequences behave exactly like a bounded deque."""
+        from collections import deque
+
+        sim = Simulator()
+        channel = Channel(sim, "c", depth=depth)
+        model = deque()
+        counter = 0
+        for is_write in ops:
+            if is_write:
+                counter += 1
+                ok = channel.write_nb(counter)
+                assert ok == (len(model) < depth)
+                if ok:
+                    model.append(counter)
+            else:
+                value, ok = channel.read_nb()
+                assert ok == bool(model)
+                if ok:
+                    assert value == model.popleft()
+        assert channel.occupancy == len(model)
+
+    @given(values=st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_drain_preserves_order_and_content(self, values):
+        sim = Simulator()
+        channel = Channel(sim, "c", depth=len(values))
+        for value in values:
+            assert channel.write_nb(value)
+        drained = [channel.read_nb()[0] for _ in values]
+        assert drained == values
+
+
+class TestRegisterChannelProperties:
+    @given(values=st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_register_always_holds_last_write(self, values):
+        sim = Simulator()
+        channel = Channel(sim, "c", depth=0)
+        for value in values:
+            channel.write_nb(value)
+            assert channel.read_nb() == (value, True)
+        # Still the last value, any number of reads later.
+        for _ in range(3):
+            assert channel.read_nb() == (values[-1], True)
+
+
+class TestStoreProperties:
+    @given(ops=_ops, capacity=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_level_never_exceeds_capacity(self, ops, capacity):
+        sim = Simulator()
+        store = Store(sim, capacity=capacity)
+        counter = 0
+        for is_put in ops:
+            if is_put:
+                counter += 1
+                store.try_put(counter)
+            else:
+                store.try_get()
+            assert store.level <= capacity
+
+    @given(values=st.lists(st.integers(), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_nothing_lost_nothing_invented(self, values):
+        sim = Simulator()
+        store = Store(sim, capacity=len(values))
+        accepted = [value for value in values if store.try_put(value)]
+        drained = []
+        while True:
+            value, ok = store.try_get()
+            if not ok:
+                break
+            drained.append(value)
+        assert drained == accepted

@@ -1,0 +1,98 @@
+"""Property-based tests for the global-memory controller."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.global_memory import GlobalMemory, GlobalMemoryConfig
+from repro.sim.core import Simulator
+
+_configs = st.builds(
+    GlobalMemoryConfig,
+    pipe_latency=st.integers(0, 80),
+    banks=st.sampled_from([1, 2, 4, 8, 16]),
+    bank_busy_cycles=st.integers(0, 8),
+    row_bytes=st.sampled_from([64, 256, 1024, 4096]),
+    row_hit_cycles=st.integers(0, 10),
+    row_miss_cycles=st.integers(10, 50),   # hit <= miss enforced by config
+)
+_access_lists = st.lists(st.integers(min_value=0, max_value=511),
+                         min_size=1, max_size=40)
+
+
+def _measure(config, indices):
+    sim = Simulator()
+    memory = GlobalMemory(sim, config)
+    memory.allocate("data", 512).fill(range(512))
+    latencies = []
+
+    def body():
+        for index in indices:
+            start = sim.now
+            value = yield memory.load("data", index)
+            latencies.append((sim.now - start, value))
+    sim.process(body())
+    sim.run()
+    return memory, latencies
+
+
+class TestLatencyBounds:
+    @given(config=_configs, indices=_access_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_latency_within_model_bounds(self, config, indices):
+        """Every sequential access costs at least pipe+hit+busy and at most
+        pipe+miss+busy (no queuing when accesses are serialized)."""
+        _, latencies = _measure(config, indices)
+        low = (config.pipe_latency + config.row_hit_cycles
+               + config.bank_busy_cycles)
+        high = (config.pipe_latency + config.row_miss_cycles
+                + config.bank_busy_cycles)
+        for latency, _ in latencies:
+            assert low <= latency <= high
+
+    @given(config=_configs, indices=_access_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_values_always_correct(self, config, indices):
+        _, latencies = _measure(config, indices)
+        assert [value for _, value in latencies] == indices
+
+    @given(config=_configs, indices=_access_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_hit_miss_accounting_complete(self, config, indices):
+        memory, _ = _measure(config, indices)
+        assert (memory.stats.row_hits + memory.stats.row_misses
+                == len(indices))
+        assert memory.stats.loads == len(indices)
+
+    @given(config=_configs)
+    @settings(max_examples=50, deadline=None)
+    def test_repeated_same_address_hits_after_first(self, config):
+        memory, _ = _measure(config, [7, 7, 7, 7])
+        assert memory.stats.row_misses == 1
+        assert memory.stats.row_hits == 3
+
+
+class TestTrafficAccounting:
+    @given(indices=_access_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_read_matches_access_count(self, indices):
+        memory, _ = _measure(GlobalMemoryConfig(), indices)
+        itemsize = memory.buffer("data").itemsize
+        assert memory.stats.bytes_read == len(indices) * itemsize
+        assert memory.traffic["data"].loads == len(indices)
+
+    @given(count=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_store_commit_count_balances(self, count):
+        sim = Simulator()
+        memory = GlobalMemory(sim)
+        memory.allocate("data", 64)
+
+        def body():
+            for index in range(count):
+                yield memory.store("data", index % 64, index)
+            yield memory.drained()
+        sim.process(body())
+        sim.run()
+        assert memory.pending_commits == 0
+        assert memory.stats.stores == count

@@ -1,0 +1,129 @@
+"""Property-based tests: schedules, accumulators, memory, synthesis."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.backing import AddressMap
+from repro.pipeline.accumulator import Accumulator
+from repro.pipeline.kernel import ResourceProfile
+from repro.pipeline.schedule import i_major, k_major, ndrange_schedule
+from repro.sim.core import Simulator
+from repro.synthesis.cost_model import CostModel
+from repro.synthesis.timing_model import TimingModel
+
+_extent = st.integers(min_value=0, max_value=12)
+
+
+class TestScheduleProperties:
+    @given(outer=_extent, inner=_extent)
+    @settings(max_examples=60, deadline=None)
+    def test_both_orders_cover_same_space(self, outer, inner):
+        assert sorted(k_major(outer, inner)) == sorted(i_major(outer, inner))
+        assert len(list(k_major(outer, inner))) == outer * inner
+
+    @given(outer=st.integers(1, 10), inner=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_invariant(self, outer, inner):
+        """No work-item issues iteration i+1 before all issued iteration i."""
+        seen_inner = []
+        for _, i in ndrange_schedule(outer, inner):
+            seen_inner.append(i)
+        assert seen_inner == sorted(seen_inner)
+
+    @given(outer=st.integers(1, 10), inner=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_program_order_invariant(self, outer, inner):
+        """No outer iteration starts before the previous one finished."""
+        seen_outer = [k for k, _ in k_major(outer, inner)]
+        assert seen_outer == sorted(seen_outer)
+
+
+class TestAccumulatorProperties:
+    @given(values=st.lists(st.integers(-10**6, 10**6), min_size=0,
+                           max_size=40),
+           permutation_seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_order_independence(self, values, permutation_seed):
+        import random
+
+        shuffled = list(values)
+        random.Random(permutation_seed).shuffle(shuffled)
+        sim = Simulator()
+        in_order, out_of_order = Accumulator(sim, "a"), Accumulator(sim, "b")
+        for value in values:
+            in_order.add("k", value)
+        for value in shuffled:
+            out_of_order.add("k", value)
+        assert in_order.value("k") == out_of_order.value("k") == sum(values)
+
+
+class TestAddressMapProperties:
+    @given(sizes=st.lists(st.integers(1, 100), min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        amap = AddressMap()
+        stores = [amap.allocate(f"b{index}", size)
+                  for index, size in enumerate(sizes)]
+        spans = sorted((s.base_address, s.end_address) for s in stores)
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    @given(sizes=st.lists(st.integers(1, 50), min_size=1, max_size=8),
+           picks=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_every_element_resolves_back(self, sizes, picks):
+        amap = AddressMap()
+        stores = [amap.allocate(f"b{index}", size)
+                  for index, size in enumerate(sizes)]
+        store = picks.draw(st.sampled_from(stores))
+        index = picks.draw(st.integers(0, store.size - 1))
+        resolved, resolved_index = amap.resolve(store.address_of(index))
+        assert resolved is store
+        assert resolved_index == index
+
+
+_profiles = st.builds(
+    ResourceProfile,
+    load_sites=st.integers(0, 8),
+    store_sites=st.integers(0, 4),
+    adders=st.integers(0, 64),
+    multipliers=st.integers(0, 32),
+    logic_ops=st.integers(0, 64),
+    channel_endpoints=st.integers(0, 16),
+    local_memory_bits=st.integers(0, 10**6),
+    control_states=st.integers(0, 32),
+)
+
+
+class TestSynthesisProperties:
+    @given(profile=_profiles)
+    @settings(max_examples=80, deadline=None)
+    def test_area_non_negative(self, profile):
+        vector = CostModel().profile_vector(profile)
+        assert vector.alms >= 0
+        assert vector.memory_bits >= 0
+        assert vector.ram_blocks >= 0
+
+    @given(profile=_profiles, extra=_profiles)
+    @settings(max_examples=80, deadline=None)
+    def test_adding_hardware_never_shrinks_area(self, profile, extra):
+        model = CostModel()
+        merged = profile.merged(extra)
+        assert (model.profile_vector(merged).alms
+                >= model.profile_vector(profile).alms - 1e-9)
+
+    @given(profile=_profiles, extra=_profiles)
+    @settings(max_examples=80, deadline=None)
+    def test_adding_hardware_never_raises_fmax(self, profile, extra):
+        timing = TimingModel()
+        merged = profile.merged(extra)
+        assert (timing.kernel_fmax_mhz(merged)
+                <= timing.kernel_fmax_mhz(profile) + 1e-9)
+
+    @given(profile=_profiles)
+    @settings(max_examples=40, deadline=None)
+    def test_retiming_always_helps_fmax(self, profile):
+        timing = TimingModel()
+        assert (timing.kernel_fmax_mhz(profile, retimed=True)
+                >= timing.kernel_fmax_mhz(profile, retimed=False))

@@ -1,0 +1,55 @@
+"""Property-based tests for the ibuffer state machine (Figure 3)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.commands import (
+    COMMAND_TRANSITIONS,
+    IBufferCommand,
+    IBufferState,
+    next_state,
+)
+
+_commands = st.lists(st.sampled_from(list(IBufferCommand)),
+                     min_size=0, max_size=40)
+_states = st.sampled_from(list(IBufferState))
+
+
+class TestStateMachineProperties:
+    @given(start=_states, commands=_commands)
+    @settings(max_examples=100, deadline=None)
+    def test_always_in_valid_state(self, start, commands):
+        state = start
+        for command in commands:
+            state = next_state(state, command)
+            assert isinstance(state, IBufferState)
+
+    @given(start=_states, commands=_commands)
+    @settings(max_examples=100, deadline=None)
+    def test_reset_always_reachable(self, start, commands):
+        """From any reachable state, one RESET returns to RESET."""
+        state = start
+        for command in commands:
+            state = next_state(state, command)
+        assert next_state(state, IBufferCommand.RESET) == IBufferState.RESET
+
+    @given(start=_states, command=st.sampled_from(list(IBufferCommand)))
+    @settings(max_examples=50, deadline=None)
+    def test_transitions_deterministic(self, start, command):
+        assert next_state(start, command) == next_state(start, command)
+
+    @given(start=_states, commands=_commands)
+    @settings(max_examples=100, deadline=None)
+    def test_sample_only_entered_via_command(self, start, commands):
+        """SAMPLE can only be the result of an explicit SAMPLE command."""
+        state = start
+        for command in commands:
+            new = next_state(state, command)
+            if new == IBufferState.SAMPLE and state != IBufferState.SAMPLE:
+                assert command == IBufferCommand.SAMPLE
+            state = new
+
+    def test_read_never_follows_read_without_reset(self):
+        """Re-arming a readout requires leaving READ first."""
+        assert (IBufferState.READ, IBufferCommand.READ) not in COMMAND_TRANSITIONS

@@ -1,0 +1,70 @@
+"""Property-based tests for the trace buffer and entry layouts."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.commands import SamplingMode
+from repro.core.trace_buffer import EntryLayout, TraceBuffer
+from repro.memory.local_memory import LocalMemory
+from repro.sim.core import Simulator
+
+_LAYOUT = EntryLayout(("timestamp", "value"))
+_entries = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2**31),
+              st.integers(min_value=-2**31, max_value=2**31)),
+    min_size=0, max_size=50)
+
+
+def _make(depth, mode):
+    sim = Simulator()
+    memory = LocalMemory(sim, "trace", depth * _LAYOUT.words_per_entry)
+    return TraceBuffer(memory, _LAYOUT, depth, mode)
+
+
+class TestLinearProperties:
+    @given(entries=_entries, depth=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_linear_keeps_exact_prefix(self, entries, depth):
+        buffer = _make(depth, SamplingMode.LINEAR)
+        for timestamp, value in entries:
+            buffer.write({"timestamp": timestamp, "value": value})
+        stored = [(e["timestamp"], e["value"]) for e in buffer.entries()]
+        assert stored == entries[:depth]
+        assert buffer.dropped == max(0, len(entries) - depth)
+
+
+class TestCyclicProperties:
+    @given(entries=_entries, depth=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_cyclic_keeps_exact_suffix(self, entries, depth):
+        buffer = _make(depth, SamplingMode.CYCLIC)
+        for timestamp, value in entries:
+            buffer.write({"timestamp": timestamp, "value": value})
+        stored = [(e["timestamp"], e["value"]) for e in buffer.entries()]
+        assert stored == entries[-depth:]
+        assert buffer.dropped == 0
+
+    @given(entries=_entries, depth=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_reset_restores_empty_state(self, entries, depth):
+        buffer = _make(depth, SamplingMode.CYCLIC)
+        for timestamp, value in entries:
+            buffer.write({"timestamp": timestamp, "value": value})
+        buffer.reset()
+        assert buffer.entries() == []
+        assert buffer.valid_entries == 0
+
+
+class TestLayoutRoundtrip:
+    @given(fields=st.lists(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+        min_size=1, max_size=5, unique=True),
+        values=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_identity(self, fields, values):
+        layout = EntryLayout(tuple(fields))
+        entry = {name: values.draw(st.integers(min_value=-2**40,
+                                               max_value=2**40))
+                 for name in fields}
+        assert layout.unpack(layout.pack(entry)) == entry

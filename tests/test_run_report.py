@@ -1,0 +1,48 @@
+"""Tests for the one-call run profile report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import summarize_run
+from repro.core.stall_monitor import StallMonitor
+from repro.errors import ReproError
+from repro.kernels.matmul import MatMulKernel, allocate_matmul_buffers
+from repro.pipeline.fabric import Fabric
+
+
+class TestSummarizeRun:
+    def _run(self, fabric, monitor=None):
+        kernel = MatMulKernel(stall_monitor=monitor)
+        allocate_matmul_buffers(fabric, 3, 4, 3)
+        return fabric.run_kernel(kernel, {"rows_a": 3, "col_a": 4,
+                                          "col_b": 3})
+
+    def test_plain_run_report(self, fabric):
+        engine = self._run(fabric)
+        text = summarize_run(fabric, engine)
+        assert "Run profile: matmul" in text
+        assert "pipelining" in text
+        assert "busiest memory site" in text
+        assert "#" in text          # the Gantt bars
+
+    def test_with_monitor_includes_latency_section(self, fabric):
+        monitor = StallMonitor(fabric, sites=2, depth=128)
+        engine = self._run(fabric, monitor)
+        text = summarize_run(fabric, engine, monitor=monitor)
+        assert "monitored latency" in text
+        assert "monitored in-flight" in text
+
+    def test_incomplete_launch_rejected(self, fabric):
+        allocate_matmul_buffers(fabric, 2, 2, 2)
+        engine = fabric.launch(MatMulKernel(), {"rows_a": 2, "col_a": 2,
+                                                "col_b": 2})
+        with pytest.raises(ReproError):
+            summarize_run(fabric, engine)
+
+    def test_report_without_iteration_trace(self):
+        fabric = Fabric(keep_lsu_samples=False)
+        engine = self._run(fabric)
+        text = summarize_run(fabric, engine)
+        assert "Run profile" in text
+        assert "pipelining" not in text   # no trace retained

@@ -1,0 +1,74 @@
+"""Unit tests for iteration-space schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelBuildError
+from repro.pipeline.schedule import (
+    NDRANGE_POLICIES,
+    flattened,
+    i_major,
+    k_major,
+    ndrange_schedule,
+)
+
+
+class TestKMajor:
+    def test_program_order(self):
+        assert list(k_major(2, 3)) == [(0, 0), (0, 1), (0, 2),
+                                       (1, 0), (1, 1), (1, 2)]
+
+    def test_empty_extents(self):
+        assert list(k_major(0, 5)) == []
+        assert list(k_major(5, 0)) == []
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(KernelBuildError):
+            list(k_major(-1, 2))
+
+
+class TestIMajor:
+    def test_interleaved_order(self):
+        assert list(i_major(3, 2)) == [(0, 0), (1, 0), (2, 0),
+                                       (0, 1), (1, 1), (2, 1)]
+
+    def test_same_elements_as_k_major(self):
+        assert sorted(i_major(4, 5)) == sorted(k_major(4, 5))
+
+
+class TestFlattened:
+    def test_three_deep(self):
+        space = list(flattened((2, 1, 2)))
+        assert space == [(0, 0, 0), (0, 0, 1), (1, 0, 0), (1, 0, 1)]
+
+    def test_empty_tuple_yields_unit(self):
+        assert list(flattened(())) == [()]
+
+    def test_count_is_product(self):
+        assert len(list(flattened((3, 4, 2)))) == 24
+
+
+class TestNDRangeSchedule:
+    def test_interleaved_policy_is_i_major(self):
+        assert list(ndrange_schedule(3, 2)) == list(i_major(3, 2))
+
+    def test_serial_policy_is_k_major(self):
+        assert (list(ndrange_schedule(3, 2, policy="workitem-serial"))
+                == list(k_major(3, 2)))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KernelBuildError):
+            ndrange_schedule(2, 2, policy="magic")
+
+    def test_policy_names_exported(self):
+        assert "workitem-interleaved" in NDRANGE_POLICIES
+
+    def test_memory_access_pattern_difference(self):
+        """The §3.2 observation: x-index order differs between modes."""
+        num = 100
+        serial = [k * num + i for k, i in ndrange_schedule(
+            3, 3, policy="workitem-serial")]
+        interleaved = [k * num + i for k, i in ndrange_schedule(3, 3)]
+        assert serial[:3] == [0, 1, 2]               # x[0], x[1], x[2]...
+        assert interleaved[:3] == [0, 100, 200]      # x[0], x[100], x[200]...

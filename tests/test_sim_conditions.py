@@ -1,0 +1,64 @@
+"""Unit tests for AnyOf/AllOf condition events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.conditions import AllOf, AnyOf
+from repro.sim.core import Simulator
+
+
+class TestAllOf:
+    def test_waits_for_every_event(self, sim):
+        a, b = sim.timeout(2, value="a"), sim.timeout(5, value="b")
+        cond = AllOf(sim, [a, b])
+        done = []
+        def waiter():
+            values = yield cond
+            done.append((sim.now, sorted(values.values())))
+        sim.process(waiter())
+        sim.run()
+        assert done == [(5, ["a", "b"])]
+
+    def test_empty_condition_triggers_immediately(self, sim):
+        cond = AllOf(sim, [])
+        assert cond.triggered
+        assert cond.value == {}
+
+    def test_failure_propagates(self, sim):
+        event = sim.event()
+        timeout = sim.timeout(1)
+        cond = AllOf(sim, [event, timeout])
+        caught = []
+        def waiter():
+            try:
+                yield cond
+            except RuntimeError as exc:
+                caught.append(str(exc))
+        def failer():
+            yield sim.timeout(2)
+            event.fail(RuntimeError("dead"))
+        sim.process(waiter())
+        sim.process(failer())
+        sim.run()
+        assert caught == ["dead"]
+
+
+class TestAnyOf:
+    def test_first_event_wins(self, sim):
+        slow, fast = sim.timeout(10, value="slow"), sim.timeout(3, value="fast")
+        cond = AnyOf(sim, [slow, fast])
+        done = []
+        def waiter():
+            values = yield cond
+            done.append((sim.now, list(values.values())))
+        sim.process(waiter())
+        sim.run()
+        assert done == [(3, ["fast"])]
+
+    def test_mixed_simulators_rejected(self):
+        sim_a, sim_b = Simulator(), Simulator()
+        event_b = sim_b.event()
+        with pytest.raises(SimulationError):
+            AnyOf(sim_a, [sim_a.event(), event_b])

@@ -1,0 +1,128 @@
+"""Unit tests for entry layouts and the trace buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commands import SamplingMode
+from repro.core.trace_buffer import (
+    EntryLayout,
+    RAW_LAYOUT,
+    STALL_LAYOUT,
+    TraceBuffer,
+    WATCH_LAYOUT,
+    decode_words,
+)
+from repro.errors import IBufferError, TraceDecodeError
+from repro.memory.local_memory import LocalMemory
+
+
+def _buffer(sim, depth=4, layout=RAW_LAYOUT, mode=SamplingMode.LINEAR):
+    memory = LocalMemory(sim, "trace", depth * layout.words_per_entry)
+    return TraceBuffer(memory, layout, depth, mode)
+
+
+class TestEntryLayout:
+    def test_words_per_entry_includes_valid(self):
+        assert RAW_LAYOUT.words_per_entry == 3
+        assert STALL_LAYOUT.words_per_entry == 4
+        assert WATCH_LAYOUT.words_per_entry == 5
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(IBufferError):
+            EntryLayout(())
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(IBufferError):
+            EntryLayout(("a", "a"))
+
+    def test_explicit_valid_field_rejected(self):
+        with pytest.raises(IBufferError):
+            EntryLayout(("valid", "x"))
+
+    def test_pack_unpack_roundtrip(self):
+        entry = {"timestamp": 12, "value": 34}
+        words = RAW_LAYOUT.pack(entry)
+        assert words[0] == 1
+        assert RAW_LAYOUT.unpack(words) == entry
+
+    def test_pack_missing_field_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            RAW_LAYOUT.pack({"timestamp": 1})
+
+    def test_unpack_invalid_slot_returns_none(self):
+        assert RAW_LAYOUT.unpack([0, 0, 0]) is None
+
+    def test_unpack_wrong_length_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            RAW_LAYOUT.unpack([1, 2])
+
+
+class TestLinearMode:
+    def test_writes_until_full_then_drops(self, sim):
+        buffer = _buffer(sim, depth=2)
+        assert buffer.write({"timestamp": 1, "value": 10})
+        assert buffer.write({"timestamp": 2, "value": 20})
+        assert not buffer.write({"timestamp": 3, "value": 30})
+        assert buffer.dropped == 1
+        assert buffer.valid_entries == 2
+        assert [e["value"] for e in buffer.entries()] == [10, 20]
+
+    def test_reset_clears_everything(self, sim):
+        buffer = _buffer(sim, depth=2)
+        buffer.write({"timestamp": 1, "value": 1})
+        buffer.reset()
+        assert buffer.valid_entries == 0
+        assert buffer.entries() == []
+        assert buffer.write({"timestamp": 2, "value": 2})
+
+
+class TestCyclicMode:
+    def test_wraps_and_keeps_newest(self, sim):
+        buffer = _buffer(sim, depth=3, mode=SamplingMode.CYCLIC)
+        for index in range(5):
+            assert buffer.write({"timestamp": index, "value": index * 10})
+        values = [e["value"] for e in buffer.entries()]
+        assert values == [20, 30, 40]  # oldest two were overwritten
+
+    def test_chronological_order_after_wrap(self, sim):
+        buffer = _buffer(sim, depth=3, mode=SamplingMode.CYCLIC)
+        for index in range(7):
+            buffer.write({"timestamp": index, "value": index})
+        stamps = [e["timestamp"] for e in buffer.entries()]
+        assert stamps == sorted(stamps)
+
+    def test_no_drops_in_cyclic_mode(self, sim):
+        buffer = _buffer(sim, depth=2, mode=SamplingMode.CYCLIC)
+        for index in range(10):
+            assert buffer.write({"timestamp": index, "value": index})
+        assert buffer.dropped == 0
+
+
+class TestValidation:
+    def test_zero_depth_rejected(self, sim):
+        memory = LocalMemory(sim, "m", 8)
+        with pytest.raises(IBufferError):
+            TraceBuffer(memory, RAW_LAYOUT, 0)
+
+    def test_undersized_memory_rejected(self, sim):
+        memory = LocalMemory(sim, "m", 5)   # needs 4*3 = 12
+        with pytest.raises(IBufferError):
+            TraceBuffer(memory, RAW_LAYOUT, 4)
+
+    def test_read_slot_bounds(self, sim):
+        buffer = _buffer(sim, depth=2)
+        with pytest.raises(IBufferError):
+            buffer.read_slot(2)
+
+
+class TestDecodeWords:
+    def test_decodes_valid_skips_invalid(self):
+        words = [1, 5, 50, 0, 0, 0, 1, 7, 70]
+        entries = decode_words(words, RAW_LAYOUT)
+        assert entries == [{"timestamp": 5, "value": 50},
+                           {"timestamp": 7, "value": 70}]
+
+    def test_misaligned_stream_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            decode_words([1, 2], RAW_LAYOUT)

@@ -1,0 +1,92 @@
+"""Tests for VCD trace export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.vcd import VCDWriter, parse_vcd_changes, vcd_from_entries
+from repro.errors import TraceDecodeError
+
+
+class TestWriter:
+    def test_header_and_signals(self):
+        writer = VCDWriter(module="probe")
+        writer.add_signal("value", width=32)
+        document = writer.render()
+        assert "$scope module probe $end" in document
+        assert "$var wire 32" in document
+        assert "$enddefinitions $end" in document
+
+    def test_duplicate_signal_rejected(self):
+        writer = VCDWriter()
+        writer.add_signal("a")
+        with pytest.raises(TraceDecodeError):
+            writer.add_signal("a")
+
+    def test_unknown_signal_change_rejected(self):
+        writer = VCDWriter()
+        with pytest.raises(TraceDecodeError):
+            writer.change(0, "ghost", 1)
+
+    def test_negative_time_rejected(self):
+        writer = VCDWriter()
+        writer.add_signal("a")
+        with pytest.raises(TraceDecodeError):
+            writer.change(-1, "a", 0)
+
+    def test_changes_emitted_in_time_order(self):
+        writer = VCDWriter()
+        writer.add_signal("a", width=8)
+        writer.change(20, "a", 2)
+        writer.change(5, "a", 1)
+        changes = parse_vcd_changes(writer.render())
+        assert changes == [(5, "a", 1), (20, "a", 2)]
+
+    def test_width_masking(self):
+        writer = VCDWriter()
+        writer.add_signal("a", width=4)
+        writer.change(0, "a", 0x1F)   # 5 bits; masked to 4
+        changes = parse_vcd_changes(writer.render())
+        assert changes == [(0, "a", 0xF)]
+
+    def test_write_to_file(self, tmp_path):
+        writer = VCDWriter()
+        writer.add_signal("a")
+        writer.change(1, "a", 7)
+        path = tmp_path / "trace.vcd"
+        writer.write(str(path))
+        assert "$timescale" in path.read_text()
+
+
+class TestFromEntries:
+    def test_roundtrip_trace_entries(self):
+        entries = [
+            {"timestamp": 10, "value": 100, "slot": 0},
+            {"timestamp": 25, "value": 200, "slot": 1},
+        ]
+        document = vcd_from_entries(entries)
+        changes = parse_vcd_changes(document)
+        assert (10, "value", 100) in changes
+        assert (25, "slot", 1) in changes
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            vcd_from_entries([])
+
+    def test_missing_time_field_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            vcd_from_entries([{"value": 1}])
+
+    def test_end_to_end_from_stall_monitor(self, fabric):
+        """Real trace -> VCD -> parse-back, through the full stack."""
+        from repro.core.stall_monitor import StallMonitor
+        from repro.kernels.matmul import MatMulKernel, allocate_matmul_buffers
+        monitor = StallMonitor(fabric, sites=2, depth=64)
+        allocate_matmul_buffers(fabric, 2, 4, 2)
+        fabric.run_kernel(MatMulKernel(stall_monitor=monitor),
+                          {"rows_a": 2, "col_a": 4, "col_b": 2})
+        entries = monitor.read_site(0)
+        document = vcd_from_entries(entries, module="stall_monitor")
+        changes = parse_vcd_changes(document)
+        values_in_vcd = [v for _, name, v in changes if name == "value"]
+        assert values_in_vcd == [e["value"] for e in entries]
