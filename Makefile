@@ -1,6 +1,6 @@
 # Convenience targets for the DAC'17 reproduction.
 
-.PHONY: install test bench experiments examples all
+.PHONY: install test bench bench-perf experiments examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Simulator perf suite: writes BENCH_sim.json and fails on >20% regression
+# against benchmarks/perf/baseline.json (see docs/PERFORMANCE.md).
+bench-perf:
+	python -m repro bench
 
 experiments:
 	python -m repro all

@@ -1,0 +1,11 @@
+"""Perf-regression suite for the simulation substrate.
+
+Thin runnable face over :mod:`repro.perf`; the committed
+``baseline.json`` next to this file is the regression reference. Run it
+with ``make bench-perf``, ``repro-fpga bench``, or::
+
+    PYTHONPATH=src python -m benchmarks.perf
+
+See ``docs/PERFORMANCE.md`` for what each benchmark measures and how the
+20% regression gate works.
+"""

@@ -1,0 +1,10 @@
+"""Run the perf suite: ``PYTHONPATH=src python -m benchmarks.perf``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -231,3 +231,104 @@ class Channel:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Channel {self.name!r} depth={self.depth} "
                 f"(requested {self.requested_depth}) occ={self.occupancy}>")
+
+
+class CounterRegisterChannel(Channel):
+    """A depth-0 channel driven by an *analytic* free-running counter.
+
+    Listing 1's timer service writes ``count`` non-blockingly every cycle,
+    so the register provably holds ``now - start_cycle + 1`` whenever the
+    counter has started. Modelling that with a real per-cycle process costs
+    one urgent event per simulated cycle forever; this channel instead
+    computes the value on demand, making the counter free. Behaviour is
+    identical for every consumer that reads at normal/late priority (all
+    pipeline read sites) — pinned by the lazy-vs-eager regression tests.
+
+    Only valid for the healthy depth-0 case: a compiled-depth override
+    (§3.1 limitation 1) builds a real FIFO whose staleness depends on the
+    actual write process, so :class:`~repro.core.timestamp.
+    PersistentTimestampService` falls back to the eager kernel there.
+
+    The channel is read-only from kernels — the producer is the (virtual)
+    counter. ``freeze()`` models tearing the service down: the register
+    keeps its last value from that cycle on.
+    """
+
+    def __init__(self, sim: Simulator, name: str, start_cycle: int = 0,
+                 width_bits: int = 32) -> None:
+        super().__init__(sim, name, depth=0, compiled_depth=None,
+                         width_bits=width_bits)
+        if start_cycle < 0:
+            raise ChannelUsageError(
+                f"counter channel {name!r}: start cycle must be >= 0")
+        self.start_cycle = start_cycle
+        self._frozen_at: Optional[int] = None
+
+    # -- the analytic register --------------------------------------------
+
+    def _elapsed(self) -> int:
+        """Number of counter increments so far (0 = not started)."""
+        now = self.sim.now
+        if self._frozen_at is not None and self._frozen_at < now:
+            now = self._frozen_at
+        return max(0, now - self.start_cycle + 1)
+
+    def freeze(self) -> None:
+        """Stop the counter (service teardown); the last value persists."""
+        if self._frozen_at is None:
+            self._frozen_at = self.sim.now
+
+    @property
+    def occupancy(self) -> int:
+        return 1 if self._elapsed() else 0
+
+    @property
+    def has_data(self) -> bool:
+        return self._elapsed() > 0
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Per-channel statistics, with the counter's writes synthesized.
+
+        The eager kernel performs one non-blocking write per running cycle;
+        report the same so the vendor-style profiler view is independent of
+        the lazy/eager mode.
+        """
+        elapsed = self._elapsed()
+        self._stats.writes = elapsed
+        self._stats.max_occupancy = 1 if elapsed else 0
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: ChannelStats) -> None:
+        self._stats = value
+
+    # -- channel API --------------------------------------------------------
+
+    def write_nb(self, value: Any) -> bool:
+        raise ChannelUsageError(
+            f"channel {self.name!r} is driven by a free-running counter; "
+            "kernels cannot write it")
+
+    def write(self, value: Any) -> Generator:
+        raise ChannelUsageError(
+            f"channel {self.name!r} is driven by a free-running counter; "
+            "kernels cannot write it")
+
+    def read_nb(self) -> Tuple[Any, bool]:
+        elapsed = self._elapsed()
+        if elapsed:
+            self._stats.reads += 1
+            return elapsed, True
+        self._stats.read_failures += 1
+        return None, False
+
+    def read(self) -> Generator:
+        start = self.sim.now
+        if not self._elapsed():
+            # Exactly like a blocked reader on the empty register: woken at
+            # the cycle of the counter's first write, observing value 1.
+            yield self.sim.timeout(self.start_cycle - self.sim.now)
+        self._stats.reads += 1
+        self._stats.read_stall_cycles += self.sim.now - start
+        return self._elapsed()

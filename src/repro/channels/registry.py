@@ -66,6 +66,13 @@ class ChannelNamespace:
         self._arrays[name] = array
         return array
 
+    def adopt(self, channel: Channel) -> Channel:
+        """Register an externally constructed channel (e.g. a specialized
+        subclass such as a lazy counter register) under its own name."""
+        self._check_fresh(channel.name)
+        self._scalars[channel.name] = channel
+        return channel
+
     def _check_fresh(self, name: str) -> None:
         if name in self._scalars or name in self._arrays:
             raise ChannelUsageError(f"channel {name!r} declared twice")

@@ -9,6 +9,7 @@
     repro-fpga sec52         # smart-watchpoint use case
     repro-fpga limitations   # §3.1 limitations ablation
     repro-fpga all           # everything, in paper order
+    repro-fpga bench         # simulator perf suite -> BENCH_sim.json
 """
 
 from __future__ import annotations
@@ -41,20 +42,72 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the DAC'17 OpenCL-for-FPGA profiling/debugging "
                     "experiments on the simulated AOCL fabric.")
     parser.add_argument("experiment",
-                        choices=sorted(_EXPERIMENTS) + ["all"],
-                        help="which experiment to run")
+                        choices=sorted(_EXPERIMENTS) + ["all", "bench"],
+                        help="which experiment to run ('bench' runs the "
+                             "simulator performance suite)")
     parser.add_argument("--n", type=int, default=fig2.PAPER_N,
                         help="fig2: outer extent / work-items (default: paper's 50)")
     parser.add_argument("--num", type=int, default=fig2.PAPER_NUM,
                         help="fig2: inner trip count (default: paper's 100)")
     parser.add_argument("--depth", type=int, default=table1.TABLE1_DEPTH,
                         help="table1: trace buffer DEPTH")
+    bench = parser.add_argument_group("bench options")
+    bench.add_argument("--bench-out", default="BENCH_sim.json",
+                       help="bench: where to write the JSON report")
+    bench.add_argument("--bench-baseline", default="benchmarks/perf/baseline.json",
+                       help="bench: committed baseline to compare against")
+    bench.add_argument("--bench-tolerance", type=float, default=0.20,
+                       help="bench: allowed relative regression (default 0.20)")
+    bench.add_argument("--bench-only", action="append", metavar="NAME",
+                       help="bench: run only the named benchmark (repeatable)")
+    bench.add_argument("--no-bench-check", action="store_true",
+                       help="bench: write the report without gating on the baseline")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="bench: overwrite the baseline with this run's results")
     return parser
+
+
+def _run_bench(args) -> int:
+    import os
+
+    from repro.perf import harness
+
+    print("repro-fpga perf suite")
+    try:
+        report = harness.run_suite(names=args.bench_only)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    harness.write_report(report, args.bench_out)
+    print(f"report written to {args.bench_out}")
+    if args.update_baseline:
+        harness.write_report(report, args.bench_baseline)
+        print(f"baseline updated at {args.bench_baseline}")
+        return 0
+    if args.no_bench_check:
+        return 0
+    if not os.path.exists(args.bench_baseline):
+        print(f"no baseline at {args.bench_baseline}; skipping regression check "
+              "(run with --update-baseline to create one)")
+        return 0
+    baseline = harness.load_report(args.bench_baseline)
+    failures = harness.compare_to_baseline(report, baseline,
+                                           tolerance=args.bench_tolerance)
+    if failures:
+        print("PERF REGRESSION:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"no regression beyond {args.bench_tolerance:.0%} vs "
+          f"{args.bench_baseline}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: run the selected experiment(s) and print reports."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "bench":
+        return _run_bench(args)
     names = _PAPER_ORDER if args.experiment == "all" else (args.experiment,)
     for name in names:
         print(_EXPERIMENTS[name](args))

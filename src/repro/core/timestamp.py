@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.channels.channel import Channel
+from repro.channels.channel import Channel, CounterRegisterChannel
 from repro.errors import KernelError
 from repro.hdl.counter import GetTimeModule
 from repro.hdl.library import HDLLibrary
@@ -59,27 +59,60 @@ class TimerServiceKernel(AutorunKernel):
 
 
 class PersistentTimestampService:
-    """N free-running-counter kernels, one per read site (Listings 1–2)."""
+    """N free-running-counter kernels, one per read site (Listings 1–2).
+
+    ``mode`` selects how the counters are simulated:
+
+    * ``"lazy"`` (default) — the depth-0 register provably holds
+      ``now - skew + 1``, so each counter is a
+      :class:`~repro.channels.channel.CounterRegisterChannel` computing
+      that on demand: zero events per cycle. Falls back to eager
+      automatically when ``compiled_depth`` overrides the depth (the FIFO
+      staleness of §3.1 limitation 1 needs the real per-cycle writer).
+    * ``"eager"`` — real autorun kernels writing every cycle, as before.
+      Required by ablations that depend on genuine per-cycle processes;
+      both modes produce identical timestamps (pinned by
+      ``tests/test_lazy_counters.py``).
+    """
 
     def __init__(self, fabric: Fabric, sites: int = 1,
                  name: str = "time", launch_skews: Optional[Sequence[int]] = None,
-                 compiled_depth: Optional[int] = None) -> None:
+                 compiled_depth: Optional[int] = None,
+                 mode: str = "lazy") -> None:
         if sites < 1:
             raise KernelError(f"need at least one timestamp site, got {sites}")
+        if mode not in ("lazy", "eager"):
+            raise KernelError(f"unknown timestamp service mode {mode!r}")
         skews = list(launch_skews or [0] * sites)
         if len(skews) != sites:
             raise KernelError(
                 f"{sites} sites but {len(skews)} launch skews given")
+        if compiled_depth is not None:
+            # A compiler-overridden depth builds a real FIFO whose stale
+            # contents depend on the actual write stream — must be eager.
+            mode = "eager"
         self.fabric = fabric
+        self.mode = mode
         self.channels: List[Channel] = []
         self.kernels: List[TimerServiceKernel] = []
         for site in range(sites):
-            channel = fabric.channels.declare(
-                f"{name}_ch{site + 1}", depth=0, compiled_depth=compiled_depth,
-                width_bits=32)
+            if mode == "lazy":
+                channel = fabric.channels.adopt(CounterRegisterChannel(
+                    fabric.sim, f"{name}_ch{site + 1}",
+                    start_cycle=fabric.sim.now + skews[site], width_bits=32))
+            else:
+                channel = fabric.channels.declare(
+                    f"{name}_ch{site + 1}", depth=0,
+                    compiled_depth=compiled_depth, width_bits=32)
             kernel = TimerServiceKernel(channel, name=f"{name}_srv{site + 1}",
                                         launch_skew=skews[site])
-            fabric.add_autorun(kernel)
+            if mode == "lazy":
+                # The kernel still exists (it occupies fabric resources and
+                # the emulator discovers it) but never runs: the channel
+                # computes its effect.
+                fabric.add_lazy_service(kernel, channel)
+            else:
+                fabric.add_autorun(kernel)
             self.channels.append(channel)
             self.kernels.append(kernel)
 

@@ -27,12 +27,32 @@ class GetTimeModule(HDLModule):
 
     def __init__(self, sim: Simulator, name: str = "get_time",
                  start_offset: int = 0, width_bits: int = 64,
-                 mode: str = "synthesis") -> None:
+                 mode: str = "synthesis", eager: bool = False) -> None:
         if width_bits < 1:
             raise HDLError(f"counter {name!r}: width must be >= 1 bit")
         super().__init__(sim, name, latency=0, mode=mode)
         self.start_offset = start_offset
         self.width_bits = width_bits
+        #: Eager mode maintains the counter register with a real per-cycle
+        #: process, one increment per clock edge like the Verilog. Only for
+        #: ablations that need genuine per-cycle activity — the default
+        #: computes the identical value from ``sim.now`` for free (the
+        #: equivalence is pinned by tests/test_lazy_counters.py).
+        self.eager = eager
+        self._register = start_offset
+        self._stopped = False
+        if eager:
+            from repro.sim.core import at_each_cycle
+
+            def _edge(cycle: int):
+                self._register = ((cycle + self.start_offset)
+                                  % (1 << self.width_bits))
+                return self._stopped
+            at_each_cycle(sim, _edge, name=f"{name}.counter")
+
+    def stop(self) -> None:
+        """Stop an eager counter's per-cycle process (end of the design)."""
+        self._stopped = True
 
     def emulate(self, command: Any = 0) -> int:
         """Emulation definition (Listing 3): ``return command + 1``."""
@@ -43,6 +63,8 @@ class GetTimeModule(HDLModule):
 
         Wraps at ``2**width_bits`` like the real register would.
         """
+        if self.eager:
+            return self._register
         return (self.sim.now + self.start_offset) % (1 << self.width_bits)
 
     def resource_profile(self) -> ResourceProfile:

@@ -99,8 +99,11 @@ class Emulator:
         self._discover_services()
 
     def _discover_services(self) -> None:
-        for engine in self.fabric.autorun_engines:
-            kernel = engine.kernel
+        # Lazily modelled services have no engine but are services all the
+        # same; the emulator treats both populations identically.
+        kernels = [engine.kernel for engine in self.fabric.autorun_engines]
+        kernels.extend(self.fabric.service_kernels)
+        for kernel in kernels:
             if isinstance(kernel, SequenceServerKernel):
                 self._channels[id(kernel.channel)] = _EmulatedChannel("sequence")
             elif isinstance(kernel, TimerServiceKernel):

@@ -1,0 +1,17 @@
+"""Performance-regression harness for the simulation substrate.
+
+Run via ``repro-fpga bench`` (or ``make bench-perf``); see
+``docs/PERFORMANCE.md``. The suite measures the simulator's hot paths —
+raw event throughput, channel round-trips, free-running counters, and
+end-to-end experiment kernels — writes ``BENCH_sim.json``, and compares
+against the committed baseline in ``benchmarks/perf/baseline.json``.
+"""
+
+from repro.perf.harness import (
+    BENCHMARKS,
+    compare_to_baseline,
+    run_suite,
+    write_report,
+)
+
+__all__ = ["BENCHMARKS", "compare_to_baseline", "run_suite", "write_report"]

@@ -1,0 +1,251 @@
+"""Microbenchmarks of the simulation substrate's hot paths.
+
+Every benchmark returns a throughput figure (higher is better) so the
+regression rule is uniform: a result more than ``tolerance`` below the
+committed baseline fails the run. Microbenchmarks take the best of
+``repeats`` runs to damp scheduler noise; the end-to-end experiments run
+once (they are long enough to be stable).
+
+The suite is intentionally plain Python (no pytest-benchmark dependency)
+so it can run from the CLI and CI alike and emit one JSON artifact,
+``BENCH_sim.json``, tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Relative slowdown vs the baseline that fails the run (20%).
+DEFAULT_TOLERANCE = 0.20
+
+
+# -- individual benchmarks --------------------------------------------------
+
+def bench_event_throughput() -> Tuple[float, Dict]:
+    """Raw event-loop throughput: pooled one-cycle ticks."""
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+    processes, cycles = 8, 25_000
+
+    def stepper():
+        for _ in range(cycles):
+            yield sim.tick()
+
+    for _ in range(processes):
+        sim.process(stepper())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    events = processes * cycles
+    return events / elapsed, {"events": events, "elapsed_s": elapsed}
+
+
+def bench_timeout_mixed_delays() -> Tuple[float, Dict]:
+    """Timeouts with mixed delays, crossing the calendar-wheel horizon."""
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+    processes, rounds = 6, 4_000
+    delays = [1, 3, 38, 200, 300, 1000]   # DDR-ish, near- and far-future
+
+    def waiter(delay):
+        for _ in range(rounds):
+            yield sim.timeout(delay)
+
+    for index in range(processes):
+        sim.process(waiter(delays[index % len(delays)]))
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    events = processes * rounds
+    return events / elapsed, {"events": events, "elapsed_s": elapsed}
+
+
+def bench_channel_round_trips() -> Tuple[float, Dict]:
+    """Blocking producer/consumer hand-offs through a depth-4 channel."""
+    from repro.channels.channel import Channel
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+    channel = Channel(sim, "bench", depth=4)
+    transfers = 30_000
+
+    def producer():
+        for value in range(transfers):
+            yield from channel.write(value)
+            yield sim.tick()
+
+    def consumer():
+        for _ in range(transfers):
+            yield from channel.read()
+            yield sim.tick()
+
+    sim.process(producer())
+    sim.process(consumer())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return transfers / elapsed, {"transfers": transfers, "elapsed_s": elapsed}
+
+
+def bench_counter_free_running() -> Tuple[float, Dict]:
+    """The §3.1 persistent-counter pattern: counter-cycles simulated per
+    second while a kernel waits 100k cycles before its read site.
+
+    This is the headline win of the lazy counters: the four counters cost
+    zero events, so throughput is bounded by the probe alone.
+    """
+    from repro.core.timestamp import PersistentTimestampService
+    from repro.pipeline.fabric import Fabric
+    from repro.pipeline.kernel import SingleTaskKernel
+
+    sites, wait_cycles = 4, 100_000
+
+    class Probe(SingleTaskKernel):
+        def __init__(self, service):
+            super().__init__(name="bench_probe")
+            self.service = service
+            self.value = None
+
+        def iteration_space(self, args):
+            return [0]
+
+        def body(self, ctx):
+            yield ctx.compute(wait_cycles)
+            self.value = yield self.service.read_op(ctx, 0)
+
+    fabric = Fabric()
+    service = PersistentTimestampService(fabric, sites=sites)
+    probe = Probe(service)
+    start = time.perf_counter()
+    fabric.run_kernel(probe, {})
+    elapsed = time.perf_counter() - start
+    counter_cycles = sites * wait_cycles
+    return counter_cycles / elapsed, {
+        "counter_cycles": counter_cycles,
+        "elapsed_s": elapsed,
+        "timestamp_read": probe.value,
+    }
+
+
+def bench_matvec_fig2() -> Tuple[float, Dict]:
+    """End-to-end Figure 2 experiment (both matvec variants, paper size)."""
+    from repro.experiments import fig2
+
+    start = time.perf_counter()
+    result = fig2.run()
+    elapsed = time.perf_counter() - start
+    cycles = result.single_task.total_cycles + result.ndrange.total_cycles
+    return cycles / elapsed, {
+        "simulated_cycles": cycles,
+        "elapsed_s": elapsed,
+        "single_task_cycles": result.single_task.total_cycles,
+        "ndrange_cycles": result.ndrange.total_cycles,
+    }
+
+
+def bench_matmul_end_to_end() -> Tuple[float, Dict]:
+    """Uninstrumented §5 matmul: simulated cycles per wall second."""
+    from repro.kernels.matmul import MatMulKernel, allocate_matmul_buffers
+    from repro.pipeline.fabric import Fabric
+
+    rows_a = col_a = col_b = 12
+    fabric = Fabric(keep_lsu_samples=False)
+    allocate_matmul_buffers(fabric, rows_a, col_a, col_b)
+    kernel = MatMulKernel()
+    start = time.perf_counter()
+    engine = fabric.run_kernel(
+        kernel, {"rows_a": rows_a, "col_a": col_a, "col_b": col_b})
+    elapsed = time.perf_counter() - start
+    cycles = engine.stats.total_cycles
+    return cycles / elapsed, {
+        "simulated_cycles": cycles,
+        "elapsed_s": elapsed,
+        "iterations": engine.stats.iterations_retired,
+    }
+
+
+#: name -> (function, unit, repeats)
+BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[float, Dict]], str, int]] = {
+    "event_throughput": (bench_event_throughput, "events/s", 3),
+    "timeout_mixed_delays": (bench_timeout_mixed_delays, "events/s", 3),
+    "channel_round_trips": (bench_channel_round_trips, "transfers/s", 3),
+    "counter_free_running": (bench_counter_free_running, "counter-cycles/s", 3),
+    "matvec_fig2": (bench_matvec_fig2, "sim-cycles/s", 1),
+    "matmul_end_to_end": (bench_matmul_end_to_end, "sim-cycles/s", 1),
+}
+
+
+# -- suite driver -----------------------------------------------------------
+
+def run_suite(names: Optional[List[str]] = None,
+              log: Callable[[str], None] = print) -> Dict:
+    """Run the benchmarks and return the report dictionary."""
+    selected = list(BENCHMARKS) if not names else names
+    results: Dict[str, Dict] = {}
+    for name in selected:
+        try:
+            function, unit, repeats = BENCHMARKS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown benchmark {name!r}; "
+                f"known: {', '.join(sorted(BENCHMARKS))}") from None
+        best_value, best_detail = 0.0, {}
+        for _ in range(repeats):
+            value, detail = function()
+            if value > best_value:
+                best_value, best_detail = value, detail
+        results[name] = {
+            "value": best_value,
+            "unit": unit,
+            "higher_is_better": True,
+            "repeats": repeats,
+            "detail": best_detail,
+        }
+        log(f"  {name:24s} {best_value:>16,.0f} {unit}")
+    return {
+        "schema": 1,
+        "suite": "repro-fpga-perf",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def compare_to_baseline(report: Dict, baseline: Dict,
+                        tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Return one message per benchmark slower than baseline by > tolerance.
+
+    Benchmarks present on only one side are reported informationally by the
+    caller, never failed — adding a benchmark must not break the gate.
+    """
+    failures: List[str] = []
+    base_results = baseline.get("results", {})
+    for name, entry in report.get("results", {}).items():
+        base = base_results.get(name)
+        if base is None:
+            continue
+        floor = base["value"] * (1.0 - tolerance)
+        if entry["value"] < floor:
+            failures.append(
+                f"{name}: {entry['value']:,.0f} {entry['unit']} is "
+                f"{100 * (1 - entry['value'] / base['value']):.1f}% below "
+                f"baseline {base['value']:,.0f} "
+                f"(allowed regression: {tolerance:.0%})")
+    return failures
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -109,6 +109,9 @@ class _OpExecutor:
         self.kernel = kernel
         self.sim = fabric.sim
         self._lsus: Dict[Tuple[str, str], LoadStoreUnit] = {}
+        #: Site-name cache keyed by the static identity of a yield: the
+        #: body's code object, suspended line, op class, and compute unit.
+        self._site_cache: Dict[Tuple[Any, int, type, int], str] = {}
 
     def lsu(self, site: str, kind: str) -> LoadStoreUnit:
         """Get-or-create the LSU backing one static memory site."""
@@ -126,8 +129,18 @@ class _OpExecutor:
     def _derive_site(self, generator: Generator, op: ops.Op,
                      compute_id: int) -> str:
         frame = getattr(generator, "gi_frame", None)
-        lineno = frame.f_lineno if frame is not None else 0
-        return f"{self.kernel.name}.cu{compute_id}:{type(op).__name__}@L{lineno}"
+        if frame is None:
+            return f"{self.kernel.name}.cu{compute_id}:{type(op).__name__}@L0"
+        # One textual yield is one hardware unit, so the formatted name is a
+        # pure function of the (code object, line, op class, compute unit)
+        # tuple — cache it and keep f-string formatting off the per-op path.
+        key = (frame.f_code, frame.f_lineno, type(op), compute_id)
+        site = self._site_cache.get(key)
+        if site is None:
+            site = (f"{self.kernel.name}.cu{compute_id}:"
+                    f"{type(op).__name__}@L{frame.f_lineno}")
+            self._site_cache[key] = site
+        return site
 
     def _cycle_priority(self) -> int:
         phase = getattr(self.kernel, "phase", "late")
@@ -190,7 +203,9 @@ class _OpExecutor:
             value = yield from op.module.invoke(op.args)
             return value
         if isinstance(op, ops.Compute):
-            if op.cycles:
+            if op.cycles == 1:
+                yield self.sim.tick()
+            elif op.cycles:
                 yield self.sim.timeout(op.cycles)
             return op.value
         if isinstance(op, ops.CollectReduction):
@@ -199,7 +214,8 @@ class _OpExecutor:
         if isinstance(op, ops.MemFence):
             return None
         if isinstance(op, ops.CycleBoundary):
-            yield self.sim.timeout(1, priority=self._cycle_priority())
+            # The dominant event of autorun stepping: use the pooled tick.
+            yield self.sim.tick(self._cycle_priority())
             return None
         raise KernelBuildError(f"unknown op {op!r} from kernel {self.kernel.name!r}")
 

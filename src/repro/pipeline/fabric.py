@@ -33,6 +33,12 @@ class Fabric:
         self.keep_lsu_samples = keep_lsu_samples
         self.autorun_engines: List[AutorunEngine] = []
         self.engines: List[PipelineEngine] = []
+        #: Persistent service kernels modelled *analytically* (no per-cycle
+        #: process; see CounterRegisterChannel). They occupy fabric
+        #: resources and are discovered by the emulator like autoruns, but
+        #: never consume simulation events.
+        self.service_kernels: List[AutorunKernel] = []
+        self._lazy_counters: List[Any] = []
 
     # -- kernels ---------------------------------------------------------
 
@@ -43,6 +49,17 @@ class Fabric:
         engine.start()
         self.autorun_engines.append(engine)
         return engine
+
+    def add_lazy_service(self, kernel: AutorunKernel, counter: Any) -> None:
+        """Install a persistent service whose effect is computed on demand.
+
+        ``counter`` is the lazy register channel standing in for the
+        kernel's per-cycle writes; it is frozen when the device is torn
+        down, exactly as stopping the eager kernel would leave the last
+        written value in the register.
+        """
+        self.service_kernels.append(kernel)
+        self._lazy_counters.append(counter)
 
     def launch(self, kernel: Kernel, args: Optional[Dict[str, Any]] = None,
                compute_id: int = 0) -> PipelineEngine:
@@ -132,3 +149,7 @@ class Fabric:
         for engine in self.autorun_engines:
             engine.stop()
         self.autorun_engines = []
+        for counter in self._lazy_counters:
+            counter.freeze()
+        self.service_kernels = []
+        self._lazy_counters = []

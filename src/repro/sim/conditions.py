@@ -15,6 +15,8 @@ from repro.sim.core import Event, Simulator
 class Condition(Event):
     """Base class: triggers when ``evaluate`` says enough events fired."""
 
+    __slots__ = ("_events", "_fired")
+
     def __init__(self, sim: Simulator, events: Iterable[Event]) -> None:
         super().__init__(sim)
         self._events: List[Event] = list(events)
@@ -53,12 +55,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once every constituent event has triggered."""
 
+    __slots__ = ()
+
     def _count_needed(self) -> int:
         return len(self._events)
 
 
 class AnyOf(Condition):
     """Triggers as soon as one constituent event triggers."""
+
+    __slots__ = ()
 
     def _count_needed(self) -> int:
         return 1

@@ -12,12 +12,25 @@ two-phase cycle semantics (see :data:`PRIORITY_URGENT`).
 
 Time is measured in **clock cycles** of the synthesized design. All
 latencies elsewhere in the library are expressed in cycles.
+
+Scheduling substrate
+--------------------
+
+The pending-event queue is a *calendar queue* specialized for integer cycle
+counts (see ``docs/PERFORMANCE.md``): a circular wheel of per-cycle buckets,
+each split into the three fixed priority lanes, with a binary heap fallback
+for events beyond the wheel horizon (or with exotic priorities / non-integer
+times). Within one ``(time, priority)`` bucket events run in scheduling
+(FIFO) order, which together with the lane split reproduces the exact
+``(time, priority, sequence)`` dequeue order of a plain ``heapq`` of
+4-tuples — a property pinned by ``tests/test_prop_queue_order.py``.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import ProcessError, SimulationError
 
@@ -34,6 +47,18 @@ PRIORITY_NORMAL = 1
 #: bookkeeping and monitors).
 PRIORITY_LATE = 2
 
+#: Calendar-wheel geometry. The horizon comfortably covers every latency the
+#: model produces on its hot paths (pipeline stepping, channel hand-offs,
+#: DDR access latencies of a few tens of cycles); longer delays fall back to
+#: the heap and are migrated on dequeue.
+_WHEEL_SIZE = 256
+_WHEEL_MASK = _WHEEL_SIZE - 1
+_HORIZON = _WHEEL_SIZE - 1
+_FULL_MASK = (1 << _WHEEL_SIZE) - 1
+
+#: Upper bound on the recycled-tick free list (see :meth:`Simulator.tick`).
+_TICK_POOL_LIMIT = 4096
+
 
 class Event:
     """A one-shot occurrence in simulated time.
@@ -42,6 +67,8 @@ class Event:
     exception) and scheduled, and is *processed* after its callbacks ran.
     Processes waiting on the event are resumed through those callbacks.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
     _PENDING = object()
 
@@ -117,6 +144,8 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` cycles in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: int, value: Any = None,
                  priority: int = PRIORITY_NORMAL) -> None:
         if delay < 0:
@@ -126,6 +155,17 @@ class Timeout(Event):
         self._value = value
         self.delay = delay
         sim._schedule(self, delay=delay, priority=priority)
+
+
+class _TickTimeout(Timeout):
+    """A pooled one-cycle timeout (see :meth:`Simulator.tick`).
+
+    Instances are recycled by the event loop immediately after their
+    callbacks ran, so they must be yielded directly by exactly one process
+    and never stored, re-waited, or combined into conditions.
+    """
+
+    __slots__ = ()
 
 
 class Interrupt(Exception):
@@ -147,6 +187,8 @@ class Process(Event):
     with the generator's return value; it fails if the generator raises.
     """
 
+    __slots__ = ("_generator", "name", "_target", "_stale")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         super().__init__(sim)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -154,6 +196,9 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        #: Wait targets this process was detached from by interrupt(); their
+        #: wake-ups are dropped without an O(n) callbacks.remove() scan.
+        self._stale: Optional[List[Event]] = None
         # Kick off the process at the current time.
         init = Event(sim)
         init._ok = True
@@ -176,15 +221,26 @@ class Process(Event):
         interrupt_event._defused = True
         self.sim._schedule(interrupt_event, delay=0, priority=PRIORITY_URGENT)
         # Detach from the current target: the interrupt, not the target,
-        # resumes the process. The target's eventual value is discarded.
+        # resumes the process. Rather than linearly scanning the target's
+        # callback list (O(waiters) — painful for wide AnyOf waits), mark
+        # the target stale; its wake-up is discarded in _resume().
         if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            if self._stale is None:
+                self._stale = [self._target]
+            else:
+                self._stale.append(self._target)
         interrupt_event.callbacks.append(self._resume)
 
     def _resume(self, event: Event) -> None:
+        stale = self._stale
+        if stale is not None and event in stale:
+            # A wake-up from a target this process was detached from by
+            # interrupt(): drop it (the marker too, so a later re-wait on
+            # the same event object is delivered normally).
+            stale.remove(event)
+            if not stale:
+                self._stale = None
+            return
         self.sim._active_process = self
         try:
             while True:
@@ -220,15 +276,36 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: owns simulated time and the pending-event queue."""
+    """The event loop: owns simulated time and the pending-event queue.
+
+    Near-future events (delay within the wheel horizon, the three standard
+    priorities, integer cycle times) live in per-cycle wheel buckets split
+    by priority lane; everything else lives in a heap (``_far``). The heap
+    is consulted on dequeue so the merged order is exactly the
+    ``(time, priority, sequence)`` order of the original single-heap design.
+    """
 
     def __init__(self) -> None:
         self._now = 0
-        self._queue: List = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         #: Failed processes whose exception nobody consumed; surfaced by run().
         self._crashed: List[Process] = []
+        #: Circular per-cycle buckets: slot = [time, urgent, normal, late]
+        #: (lanes are deques in scheduling order). A slot is *live* only if
+        #: some lane is non-empty and slot[0] matches the cycle; drained
+        #: slots are reused in place for later cycles.
+        self._wheel: List[Optional[list]] = [None] * _WHEEL_SIZE
+        #: Number of events currently stored in the wheel.
+        self._wheel_count = 0
+        #: Bit i set iff wheel slot i holds pending events; lets the next
+        #: live cycle be found with O(1) integer bit tricks instead of a
+        #: slot scan (matters when the schedule is sparse).
+        self._occupied = 0
+        #: Far-future / exotic events: heap of (time, priority, seq, event).
+        self._far: List = []
+        #: Recycled one-cycle timeouts (see tick()).
+        self._tick_pool: List[_TickTimeout] = []
 
     @property
     def now(self) -> int:
@@ -251,6 +328,26 @@ class Simulator:
         """Create an event that fires ``delay`` cycles from now."""
         return Timeout(self, delay, value, priority)
 
+    def tick(self, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """A pooled one-cycle timeout for pipeline stepping hot paths.
+
+        Behaves exactly like ``timeout(1, priority=priority)`` but recycles
+        the event object once its callbacks ran, avoiding an allocation per
+        simulated cycle per pipeline. The returned event MUST be yielded
+        directly by a single process (never stored, re-yielded, or wrapped
+        in a condition) — the engine's cycle-boundary stepping and
+        :func:`at_each_cycle` satisfy this by construction.
+        """
+        pool = self._tick_pool
+        if pool:
+            tick = pool.pop()
+            tick._value = None
+            tick._ok = True
+            tick._defused = False
+            self._schedule(tick, delay=1, priority=priority)
+            return tick
+        return _TickTimeout(self, 1, None, priority)
+
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from ``generator``."""
         return Process(self, generator, name=name)
@@ -260,24 +357,138 @@ class Simulator:
     def _schedule(self, event: Event, delay: int, priority: int) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay {delay})")
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        time = self._now + delay
+        if (type(time) is int and delay <= _HORIZON
+                and type(priority) is int and 0 <= priority <= 2):
+            index = time & _WHEEL_MASK
+            slot = self._wheel[index]
+            if slot is None:
+                slot = [time, deque(), deque(), deque()]
+                self._wheel[index] = slot
+            elif slot[0] != time:
+                # Reuse a drained slot for a new cycle.
+                slot[0] = time
+            slot[priority + 1].append(event)
+            self._wheel_count += 1
+            self._occupied |= 1 << index
+        else:
+            self._eid += 1
+            heapq.heappush(self._far, (time, priority, self._eid, event))
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        far = self._far
+        next_time: Optional[int] = None
+        if self._wheel_count:
+            now = self._now
+            if type(now) is int:
+                slot = self._wheel[now & _WHEEL_MASK]
+                if slot is not None and slot[0] == now and (
+                        slot[1] or slot[2] or slot[3]):
+                    next_time = now
+            if next_time is None:
+                next_time = self._next_wheel_time()
+        if far and (next_time is None or far[0][0] < next_time):
+            next_time = far[0][0]
+        return next_time
+
+    def _next_wheel_time(self) -> Optional[int]:
+        """Earliest live wheel cycle strictly after ``now`` (None if none)."""
+        occupied = self._occupied
+        if not occupied:
+            return None
+        now = self._now
+        if type(now) is int:
+            # All wheel times lie in [now, now + HORIZON] and map to
+            # distinct slots, so the first occupied slot in circular order
+            # from now+1 is the earliest. Rotate the occupancy bitmap and
+            # take the lowest set bit — O(1) big-int arithmetic.
+            shift = (now + 1) & _WHEEL_MASK
+            rotated = ((occupied >> shift)
+                       | (occupied << (_WHEEL_SIZE - shift))) & _FULL_MASK
+            # After rotation, bit 255 is the slot of `now` itself (the only
+            # time that can map there); exclude it — we want strictly later.
+            rotated &= _FULL_MASK >> 1
+            if not rotated:
+                return None
+            offset = (rotated & -rotated).bit_length() - 1
+            return self._wheel[(shift + offset) & _WHEEL_MASK][0]
+        # Non-integer `now` (reached via a far event at a float time): fall
+        # back to inspecting occupied slots directly.
+        best: Optional[int] = None
+        wheel = self._wheel
+        while occupied:
+            low = occupied & -occupied
+            slot = wheel[low.bit_length() - 1]
+            if slot[0] > now and (best is None or slot[0] < best):
+                best = slot[0]
+            occupied ^= low
+        return best
+
+    def _pop_next(self) -> Event:
+        """Remove and return the next event, advancing ``_now`` to it."""
+        far = self._far
+        wheel = self._wheel
+        while True:
+            now = self._now
+            if self._wheel_count and type(now) is int:
+                index = now & _WHEEL_MASK
+                slot = wheel[index]
+                if slot is not None and slot[0] == now:
+                    if slot[1]:
+                        lane_priority, lane = 0, slot[1]
+                    elif slot[2]:
+                        lane_priority, lane = 1, slot[2]
+                    elif slot[3]:
+                        lane_priority, lane = 2, slot[3]
+                    else:
+                        lane = None
+                    if lane is not None:
+                        if far:
+                            head = far[0]
+                            # A far event at the same cycle with a <= lane
+                            # priority always precedes the lane head: far
+                            # entries at (time, priority) were necessarily
+                            # scheduled earlier (lower sequence number).
+                            if head[0] == now and head[1] <= lane_priority:
+                                heapq.heappop(far)
+                                return head[3]
+                        self._wheel_count -= 1
+                        event = lane.popleft()
+                        if not (slot[1] or slot[2] or slot[3]):
+                            self._occupied &= ~(1 << index)
+                        return event
+            if far and far[0][0] == now:
+                return heapq.heappop(far)[3]
+            # Nothing left at the current time: advance to the next one.
+            next_time = self._next_wheel_time() if self._wheel_count else None
+            if far:
+                far_time = far[0][0]
+                if next_time is None or far_time < next_time:
+                    next_time = far_time
+            if next_time is None:
+                raise SimulationError("step() on an empty event queue")
+            if type(next_time) is float and next_time.is_integer():
+                next_time = int(next_time)
+            self._now = next_time
+
+    def _has_events(self) -> bool:
+        return bool(self._wheel_count or self._far)
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        event = self._pop_next()
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
             if isinstance(event, Process):
                 self._crashed.append(event)
+        elif type(event) is _TickTimeout and len(self._tick_pool) < _TICK_POOL_LIMIT:
+            # Recycle the consumed tick: its (sole) waiter already ran.
+            callbacks.clear()
+            event.callbacks = callbacks
+            self._tick_pool.append(event)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
@@ -287,7 +498,10 @@ class Simulator:
         * ``None`` — run until no events remain;
         * an ``int`` — run until that cycle (exclusive of later events);
         * an :class:`Event` — run until that event is processed, returning
-          its value (re-raising its exception on failure).
+          its value (re-raising its exception on failure). If the event
+          never triggers — the queue drained first, or the loop stopped
+          with the event still pending — a :class:`SimulationError` is
+          raised; "not done" is never silently returned as a result.
         """
         stop_event: Optional[Event] = None
         stop_time: Optional[int] = None
@@ -299,27 +513,33 @@ class Simulator:
                 raise SimulationError(
                     f"until={stop_time} is in the past (now={self._now})")
 
-        while self._queue:
+        if stop_time is not None:
+            while True:
+                next_time = self.peek()
+                if next_time is None or next_time >= stop_time:
+                    self._now = stop_time
+                    return None
+                self.step()
+                self._raise_crashed()
+
+        while self._wheel_count or self._far:
             if stop_event is not None and stop_event.processed:
-                break
-            if stop_time is not None and self._queue[0][0] >= stop_time:
-                self._now = stop_time
                 break
             self.step()
             self._raise_crashed()
 
         if stop_event is not None:
             if not stop_event.triggered:
-                if self._queue:
-                    return None
+                if self._wheel_count or self._far:
+                    raise SimulationError(
+                        "run() stopped with events still pending but the "
+                        "awaited event never triggered")
                 raise SimulationError(
                     "run() ran out of events before the awaited event triggered")
             if not stop_event._ok:
                 stop_event._defused = True
                 raise stop_event._value
             return stop_event._value
-        if stop_time is not None and self._now < stop_time and not self._queue:
-            self._now = stop_time
         return None
 
     def _raise_crashed(self) -> None:
@@ -332,7 +552,7 @@ class Simulator:
 
     def run_all(self, max_cycles: int = 10_000_000) -> None:
         """Run until the queue drains, guarding against runaway models."""
-        while self._queue:
+        while self._wheel_count or self._far:
             if self._now > max_cycles:
                 raise SimulationError(
                     f"simulation exceeded {max_cycles} cycles; "
@@ -345,14 +565,17 @@ def at_each_cycle(sim: Simulator, body: Callable[[int], Optional[bool]],
                   priority: int = PRIORITY_URGENT, name: str = "cycle-driver"):
     """Run ``body(cycle)`` once per cycle until it returns True.
 
-    Convenience used by free-running counters and per-cycle monitors; the
-    body runs with urgent priority so same-cycle consumers see its effects.
+    Convenience used by per-cycle monitors; the body runs with urgent
+    priority so same-cycle consumers see its effects. Free-running counters
+    should prefer the lazy on-demand services (see ``docs/PERFORMANCE.md``)
+    — an eager per-cycle process costs one event per simulated cycle
+    forever.
     """
 
     def _driver():
         while True:
             if body(sim.now):
                 return
-            yield sim.timeout(1, priority=priority)
+            yield sim.tick(priority)
 
     return sim.process(_driver(), name=name)

@@ -17,6 +17,8 @@ from repro.sim.core import Event, Simulator
 class StorePut(Event):
     """Pending put request; triggers when the item is accepted."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.sim)
         self.item = item
@@ -24,6 +26,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Pending get request; triggers with the retrieved item."""
+
+    __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
         super().__init__(store.sim)
@@ -125,6 +129,8 @@ class Store:
 
 class ResourceRequest(Event):
     """Pending request for a resource slot."""
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
