@@ -1,6 +1,6 @@
 # Convenience targets for the DAC'17 reproduction.
 
-.PHONY: install test bench bench-perf experiments examples all
+.PHONY: install test bench bench-perf experiments examples trace-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,5 +21,12 @@ experiments:
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo OK; done
+
+# Capture a Figure 2 trace bundle and export a Perfetto-loadable JSON
+# (load fig2.trace.json at https://ui.perfetto.dev; see docs/TRACING.md).
+trace-demo:
+	python -m repro run fig2 --trace-out fig2.ctb
+	python -m repro trace info fig2.ctb
+	python -m repro trace export fig2.ctb --format chrome -o fig2.trace.json
 
 all: test bench experiments

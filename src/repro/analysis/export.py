@@ -8,18 +8,29 @@ synthesis reports without any external dependency.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.stall_monitor import LatencySample
 from repro.errors import TraceDecodeError
 from repro.synthesis.report import SynthesisReport
 
 
-def entries_to_csv(entries: Sequence[Dict[str, int]]) -> str:
-    """Trace entries -> CSV with a header row (stable field order)."""
+def entries_to_csv(entries: Sequence[Dict[str, int]],
+                   allow_empty: bool = False,
+                   fields: Optional[Sequence[str]] = None) -> str:
+    """Trace entries -> CSV with a header row (stable field order).
+
+    Empty input raises by default (a drained trace is usually a bug in
+    interactive use); automated pipelines over runs that legitimately
+    capture nothing pass ``allow_empty=True`` to get a header-only CSV —
+    supply ``fields`` for the header, or receive an empty document.
+    ``fields`` also overrides the header/column order for non-empty input.
+    """
     if not entries:
-        raise TraceDecodeError("no entries to export")
-    fields = list(entries[0].keys())
+        if not allow_empty:
+            raise TraceDecodeError("no entries to export")
+        return ",".join(fields) + "\n" if fields else ""
+    fields = list(fields) if fields is not None else list(entries[0].keys())
     lines = [",".join(fields)]
     for entry in entries:
         missing = set(fields) ^ set(entry)
@@ -35,14 +46,19 @@ def entries_to_json(entries: Sequence[Dict[str, int]]) -> str:
     return json.dumps(list(entries), indent=2, sort_keys=True)
 
 
-def latency_samples_to_csv(samples: Iterable[LatencySample]) -> str:
-    """Paired latency samples -> CSV."""
+def latency_samples_to_csv(samples: Iterable[LatencySample],
+                           allow_empty: bool = False) -> str:
+    """Paired latency samples -> CSV.
+
+    Empty input raises unless ``allow_empty=True``, which yields a
+    header-only document (for automated multi-run pipelines).
+    """
     lines = ["start_cycle,end_cycle,latency,start_value,end_value"]
     for sample in samples:
         lines.append(f"{sample.start_cycle},{sample.end_cycle},"
                      f"{sample.latency},{sample.start_value},"
                      f"{sample.end_value}")
-    if len(lines) == 1:
+    if len(lines) == 1 and not allow_empty:
         raise TraceDecodeError("no latency samples to export")
     return "\n".join(lines) + "\n"
 
@@ -68,10 +84,18 @@ def synthesis_report_to_json(report: SynthesisReport) -> str:
                       sort_keys=True)
 
 
-def csv_to_entries(document: str) -> List[Dict[str, int]]:
-    """Parse :func:`entries_to_csv` output back (round-trip support)."""
+def csv_to_entries(document: str,
+                   allow_empty: bool = False) -> List[Dict[str, int]]:
+    """Parse :func:`entries_to_csv` output back (round-trip support).
+
+    ``allow_empty=True`` accepts a fully empty document (the
+    ``entries_to_csv(..., allow_empty=True)`` output without ``fields``)
+    and returns ``[]``.
+    """
     lines = [line for line in document.strip().splitlines() if line]
     if len(lines) < 1:
+        if allow_empty:
+            return []
         raise TraceDecodeError("empty CSV document")
     fields = lines[0].split(",")
     entries = []

@@ -1,15 +1,17 @@
-"""Command-line entry point: run the paper's experiments from a shell.
+"""Command-line entry point: experiments, benchmarks, and trace tooling.
 
 ::
 
-    repro-fpga fig2          # Figure 2 execution-order traces
-    repro-fpga table1        # Table 1 area/frequency rows
-    repro-fpga sec31         # timestamp-pattern overhead
-    repro-fpga sec51         # stall-monitor use case
-    repro-fpga sec52         # smart-watchpoint use case
-    repro-fpga limitations   # §3.1 limitations ablation
-    repro-fpga all           # everything, in paper order
-    repro-fpga bench         # simulator perf suite -> BENCH_sim.json
+    repro-fpga run fig2                     # Figure 2 execution-order traces
+    repro-fpga run sec51 --trace-out x.ctb  # ... capturing a columnar trace
+    repro-fpga run all                      # everything, in paper order
+    repro-fpga bench                        # simulator perf suite
+    repro-fpga trace info x.ctb             # segments/schemas of a bundle
+    repro-fpga trace query x.ctb --schema latency.sample --agg latency --by site
+    repro-fpga trace export x.ctb --format chrome -o x.json   # Perfetto
+
+The pre-subcommand form (``repro-fpga fig2``) keeps working through a
+back-compat shim that maps it onto ``run``.
 """
 
 from __future__ import annotations
@@ -22,48 +24,118 @@ from repro.experiments import (fig2, limitations, scalability, sec31,
                                sec51, sec52, table1)
 
 _EXPERIMENTS = {
-    "fig2": lambda args: fig2.run(n=args.n, num=args.num).render(),
-    "table1": lambda args: table1.run(depth=args.depth).render(),
-    "sec31": lambda args: sec31.run().render(),
-    "sec51": lambda args: sec51.run().render(),
-    "sec52": lambda args: sec52.run().render(),
-    "limitations": lambda args: limitations.run().render(),
-    "scalability": lambda args: scalability.run().render(),
+    "fig2": lambda args, hub: fig2.run(n=args.n, num=args.num,
+                                       trace=hub).render(),
+    "table1": lambda args, hub: table1.run(depth=args.depth).render(),
+    "sec31": lambda args, hub: sec31.run().render(),
+    "sec51": lambda args, hub: sec51.run(trace=hub).render(),
+    "sec52": lambda args, hub: sec52.run(trace=hub).render(),
+    "limitations": lambda args, hub: limitations.run().render(),
+    "scalability": lambda args, hub: scalability.run().render(),
 }
+
+#: Experiments that publish into a trace hub when one is supplied.
+_TRACEABLE = ("fig2", "sec51", "sec52")
 
 _PAPER_ORDER = ("sec31", "fig2", "table1", "sec51", "sec52",
                 "limitations", "scalability")
 
 
+def _add_run_parser(sub) -> None:
+    run = sub.add_parser(
+        "run", help="run one experiment (or 'all', in paper order)",
+        description="Run the paper's experiments on the simulated fabric.")
+    run.add_argument("experiment", choices=sorted(_EXPERIMENTS) + ["all"],
+                     help="which experiment to run")
+    run.add_argument("--n", type=int, default=fig2.PAPER_N,
+                     help="fig2: outer extent / work-items (default: paper's 50)")
+    run.add_argument("--num", type=int, default=fig2.PAPER_NUM,
+                     help="fig2: inner trip count (default: paper's 100)")
+    run.add_argument("--depth", type=int, default=table1.TABLE1_DEPTH,
+                     help="table1: trace buffer DEPTH")
+    run.add_argument("--trace-out", metavar="FILE.ctb", default=None,
+                     help="capture a columnar trace bundle; appends when the "
+                          f"file exists (traceable: {', '.join(_TRACEABLE)})")
+
+
+def _add_bench_parser(sub) -> None:
+    bench = sub.add_parser(
+        "bench", help="simulator perf suite -> BENCH_sim.json",
+        description="Run the simulator performance suite and gate on the "
+                    "committed baseline.")
+    bench.add_argument("--bench-out", default="BENCH_sim.json",
+                       help="where to write the JSON report")
+    bench.add_argument("--bench-baseline",
+                       default="benchmarks/perf/baseline.json",
+                       help="committed baseline to compare against")
+    bench.add_argument("--bench-tolerance", type=float, default=0.20,
+                       help="allowed relative regression (default 0.20)")
+    bench.add_argument("--bench-only", action="append", metavar="NAME",
+                       help="run only the named benchmark (repeatable)")
+    bench.add_argument("--no-bench-check", action="store_true",
+                       help="write the report without gating on the baseline")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="overwrite the baseline with this run's results")
+
+
+def _add_trace_parser(sub) -> None:
+    trace = sub.add_parser(
+        "trace", help="inspect/query/export stored .ctb trace bundles",
+        description="Tools over columnar trace bundles written by "
+                    "'run --trace-out'.")
+    tsub = trace.add_subparsers(dest="trace_command", required=True,
+                                metavar="{info,query,export}")
+
+    info = tsub.add_parser("info", help="summarize segments and schemas")
+    info.add_argument("store", help="path to a .ctb bundle")
+
+    query = tsub.add_parser("query", help="filter/aggregate stored records")
+    query.add_argument("store", help="path to a .ctb bundle")
+    query.add_argument("--schema", default=None, help="restrict to one schema")
+    query.add_argument("--kernel", action="append", default=None,
+                       help="restrict to kernel(s) (repeatable)")
+    query.add_argument("--cu", action="append", type=int, default=None,
+                       help="restrict to compute unit(s) (repeatable)")
+    query.add_argument("--site", action="append", default=None,
+                       help="restrict to site(s) (repeatable)")
+    query.add_argument("--since", type=int, default=None,
+                       help="keep records with ts >= SINCE")
+    query.add_argument("--until", type=int, default=None,
+                       help="keep records with ts < UNTIL")
+    query.add_argument("--limit", type=int, default=20,
+                       help="max rows to print (default 20; 0 = no limit)")
+    query.add_argument("--agg", metavar="FIELD", default=None,
+                       help="aggregate FIELD (count/min/max/mean) instead "
+                            "of printing rows")
+    query.add_argument("--by", metavar="COLUMN", default=None,
+                       help="group the aggregation by COLUMN (e.g. site)")
+
+    export = tsub.add_parser("export", help="export to chrome/csv/json")
+    export.add_argument("store", help="path to a .ctb bundle")
+    export.add_argument("--format", choices=("chrome", "csv", "json"),
+                        default="chrome", help="output format "
+                        "(chrome = Perfetto-loadable trace-event JSON)")
+    export.add_argument("--schema", default=None,
+                        help="schema to export (required for csv)")
+    export.add_argument("-o", "--out", default=None,
+                        help="output file (default: stdout)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests and docs)."""
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro-fpga",
         description="Reproduce the DAC'17 OpenCL-for-FPGA profiling/debugging "
                     "experiments on the simulated AOCL fabric.")
-    parser.add_argument("experiment",
-                        choices=sorted(_EXPERIMENTS) + ["all", "bench"],
-                        help="which experiment to run ('bench' runs the "
-                             "simulator performance suite)")
-    parser.add_argument("--n", type=int, default=fig2.PAPER_N,
-                        help="fig2: outer extent / work-items (default: paper's 50)")
-    parser.add_argument("--num", type=int, default=fig2.PAPER_NUM,
-                        help="fig2: inner trip count (default: paper's 100)")
-    parser.add_argument("--depth", type=int, default=table1.TABLE1_DEPTH,
-                        help="table1: trace buffer DEPTH")
-    bench = parser.add_argument_group("bench options")
-    bench.add_argument("--bench-out", default="BENCH_sim.json",
-                       help="bench: where to write the JSON report")
-    bench.add_argument("--bench-baseline", default="benchmarks/perf/baseline.json",
-                       help="bench: committed baseline to compare against")
-    bench.add_argument("--bench-tolerance", type=float, default=0.20,
-                       help="bench: allowed relative regression (default 0.20)")
-    bench.add_argument("--bench-only", action="append", metavar="NAME",
-                       help="bench: run only the named benchmark (repeatable)")
-    bench.add_argument("--no-bench-check", action="store_true",
-                       help="bench: write the report without gating on the baseline")
-    bench.add_argument("--update-baseline", action="store_true",
-                       help="bench: overwrite the baseline with this run's results")
+    parser.add_argument("--version", action="version",
+                        version=f"repro-fpga {repro.__version__}")
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="{run,bench,trace}")
+    _add_run_parser(sub)
+    _add_bench_parser(sub)
+    _add_trace_parser(sub)
     return parser
 
 
@@ -103,16 +175,143 @@ def _run_bench(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point: run the selected experiment(s) and print reports."""
-    args = build_parser().parse_args(argv)
-    if args.experiment == "bench":
-        return _run_bench(args)
+def _run_experiments(args) -> int:
+    hub = None
+    sink = None
+    if args.trace_out:
+        from repro.trace.columnar import ColumnarSink
+        from repro.trace.hub import TraceHub
+        hub = TraceHub()
+        sink = hub.attach(ColumnarSink(args.trace_out, hub.registry))
     names = _PAPER_ORDER if args.experiment == "all" else (args.experiment,)
     for name in names:
-        print(_EXPERIMENTS[name](args))
+        this_hub = hub if name in _TRACEABLE else None
+        if args.trace_out and name not in _TRACEABLE and len(names) == 1:
+            print(f"note: {name} does not publish trace records; "
+                  f"{args.trace_out} will be empty", file=sys.stderr)
+        print(_EXPERIMENTS[name](args, this_hub))
         print()
+    if hub is not None:
+        hub.close()
+        print(f"trace bundle: {args.trace_out} "
+              f"({sink.rows_written} records, "
+              f"{len(hub.counts)} schemas)")
     return 0
+
+
+def _run_trace_tool(args) -> int:
+    from repro.errors import ReproError
+    from repro.trace.columnar import ColumnarStore
+    from repro.trace.query import TraceQuery
+
+    try:
+        store = ColumnarStore.load(args.store)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "info":
+        print(f"{args.store}: {len(store.segments)} segment(s), "
+              f"{store.total_rows()} record(s)")
+        print(f"{'schema':28s} {'rows':>8s} {'ts range':>20s} {'strings':>8s}")
+        for segment in store.segments:
+            span = (f"{segment.min_ts}..{segment.max_ts}"
+                    if segment.rows else "-")
+            print(f"{segment.schema:28s} {segment.rows:8d} {span:>20s} "
+                  f"{len(segment.strings):8d}")
+        return 0
+
+    if args.trace_command == "query":
+        query = TraceQuery(store)
+        if args.schema:
+            query.schema(args.schema)
+        if args.kernel:
+            query.kernel(*args.kernel)
+        if args.cu:
+            query.cu(*args.cu)
+        if args.site:
+            query.site(*args.site)
+        if args.since is not None or args.until is not None:
+            query.between(args.since, args.until)
+        try:
+            if args.agg:
+                result = query.aggregate(args.agg, by=args.by)
+                if not isinstance(result, dict):
+                    result = {"(all)": result}
+                print(f"{'group':36s} {'count':>8s} {'min':>10s} "
+                      f"{'max':>10s} {'mean':>12s}")
+                for key in sorted(result, key=str):
+                    agg = result[key]
+                    print(f"{str(key):36s} {agg.count:8d} {agg.minimum:10d} "
+                          f"{agg.maximum:10d} {agg.mean:12.2f}")
+                return 0
+            if args.limit:
+                query.limit(args.limit)
+            rows = query.rows()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for row in rows:
+            print(row)
+        print(f"({len(rows)} row(s))")
+        return 0
+
+    # export
+    from repro.trace.export import (
+        store_to_csv,
+        store_to_json,
+        to_chrome_json,
+        validate_chrome_events,
+    )
+    try:
+        if args.format == "chrome":
+            import json as _json
+            document = to_chrome_json(store)
+            problems = validate_chrome_events(
+                _json.loads(document)["traceEvents"])
+            if problems:
+                print("error: invalid chrome trace produced:",
+                      file=sys.stderr)
+                for problem in problems:
+                    print(f"  {problem}", file=sys.stderr)
+                return 2
+        elif args.format == "csv":
+            if not args.schema:
+                print("error: csv export needs --schema", file=sys.stderr)
+                return 2
+            document = store_to_csv(store, args.schema)
+        else:
+            document = store_to_json(store, schema=args.schema)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+            if not document.endswith("\n"):
+                handle.write("\n")
+        print(f"wrote {args.out}")
+    else:
+        print(document)
+    return 0
+
+
+def _shim_legacy_argv(argv: List[str]) -> List[str]:
+    """Map the pre-subcommand form onto ``run`` (back-compat)."""
+    if argv and argv[0] in set(_EXPERIMENTS) | {"all"}:
+        return ["run"] + argv
+    return argv
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: dispatch run/bench/trace subcommands."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(_shim_legacy_argv(argv))
+    if args.command == "bench":
+        return _run_bench(args)
+    if args.command == "trace":
+        return _run_trace_tool(args)
+    return _run_experiments(args)
 
 
 if __name__ == "__main__":

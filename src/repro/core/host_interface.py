@@ -107,14 +107,24 @@ class HostController:
         self.command(IBufferCommand.STOP, unit)
 
     def read_trace(self, unit: int = 0) -> List[Dict[str, int]]:
-        """READ one instance's trace into global memory and decode it."""
+        """READ one instance's trace into global memory and decode it.
+
+        When the fabric carries a trace hub, the decoded entries are also
+        published as ``ibuffer.<name>`` records — the raw-drain stream of
+        the unified trace subsystem.
+        """
         self.fabric.advance(self.command_latency)
         self.fabric.run_kernel(self.kernel, {
             "cmd": int(IBufferCommand.READ), "id": unit, "out": self._out_name})
         # Let the ibuffer take its event-driven READ -> STOP transition.
         self.fabric.advance(3)
         words = [int(w) for w in self._out.snapshot()]
-        return decode_words(words, self.ibuffer.layout)
+        entries = decode_words(words, self.ibuffer.layout)
+        if self.fabric.trace is not None:
+            from repro.trace.capture import publish_ibuffer_entries
+            publish_ibuffer_entries(self.fabric.trace, self.ibuffer, unit,
+                                    entries)
+        return entries
 
     def read_all(self) -> Dict[int, List[Dict[str, int]]]:
         """Stop and read every instance, oldest entries first."""

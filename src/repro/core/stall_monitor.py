@@ -110,6 +110,12 @@ class StallMonitor:
             samples.append(LatencySample(
                 start_cycle=start["timestamp"], end_cycle=end["timestamp"],
                 start_value=start["value"], end_value=end["value"]))
+        if self.fabric.trace is not None:
+            from repro.trace.capture import publish_latency_samples
+            publish_latency_samples(
+                self.fabric.trace, samples, kernel=self.name,
+                cu=start_site,
+                site=f"{self.name}:site{start_site}->site{end_site}")
         return samples
 
     def resource_profile(self) -> ResourceProfile:

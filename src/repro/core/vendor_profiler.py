@@ -142,13 +142,18 @@ class VendorProfiler:
             for name, traffic in self.fabric.memory.traffic.items():
                 bandwidth[name] = (traffic.bytes_read
                                    + traffic.bytes_written) / window
-        return VendorProfileReport(
+        result = VendorProfileReport(
             window_cycles=window,
             lsus=lsus,
             channels=channels,
             buffer_bandwidth=bandwidth,
             total_bytes=total_bytes,
         )
+        if self.fabric.trace is not None:
+            from repro.trace.capture import publish_vendor_report
+            publish_vendor_report(self.fabric.trace, result,
+                                  kernel="vendor_profiler")
+        return result
 
     def report_channels_only(self) -> List[ChannelCounters]:
         """Channel counters without any kernel launch (autorun-only runs)."""

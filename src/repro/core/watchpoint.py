@@ -106,10 +106,20 @@ class SmartWatchpoint:
     # -- host-side analysis ------------------------------------------------
 
     def read_unit(self, unit: int) -> List[Dict[str, int]]:
-        """Stop (if sampling) and read one unit's recorded events."""
+        """Stop (if sampling) and read one unit's recorded events.
+
+        With a trace hub on the fabric, events are also published typed
+        (``watch.event``) in addition to the raw ``ibuffer.<name>`` drain.
+        """
         if self.ibuffer.states.get(unit) == IBufferState.SAMPLE:
             self.host.stop(unit)
-        return self.host.read_trace(unit)
+        entries = self.host.read_trace(unit)
+        if self.fabric.trace is not None:
+            from repro.trace.capture import publish_watch_events
+            publish_watch_events(self.fabric.trace, entries,
+                                 kernel=self.name, cu=unit,
+                                 site=f"{self.name}[{unit}]")
+        return entries
 
     def matches(self, unit: int = 0) -> List[Dict[str, int]]:
         """Watch hits: (timestamp, address, tag) history of watched state."""

@@ -78,3 +78,13 @@ class IBufferError(ReproError):
 
 class TraceDecodeError(ReproError):
     """Raised when a raw trace cannot be decoded into events."""
+
+
+class TraceSchemaError(ReproError):
+    """Raised for trace-record schema violations (unknown schema, missing
+    or extra fields, conflicting re-registration)."""
+
+
+class TraceStoreError(ReproError):
+    """Raised when a columnar trace store cannot be encoded, decoded, or
+    appended to (corrupt file, value out of int64 range, bad footer)."""

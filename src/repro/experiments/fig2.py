@@ -93,10 +93,11 @@ class Fig2Result:
         ])
 
 
-def _run_one(kind: str, n: int, num: int, probe_i: int) -> Fig2KernelResult:
+def _run_one(kind: str, n: int, num: int, probe_i: int,
+             trace=None) -> Fig2KernelResult:
     import numpy as np
 
-    fabric = Fabric()
+    fabric = Fabric(trace=trace)
     sequence = SequenceService(fabric)
     timestamps = PersistentTimestampService(fabric, sites=1)
     buffers = allocate_matvec_buffers(fabric, n, num, probe_i=probe_i)
@@ -112,6 +113,11 @@ def _run_one(kind: str, n: int, num: int, probe_i: int) -> Fig2KernelResult:
                             buffers["info3"].snapshot(),
                             count=n * min(probe_i, num))
     assert timestamps_monotonic(records), "sequence/time order disagreement"
+    if trace is not None:
+        from repro.trace.capture import publish_order_records, publish_run_span
+        publish_order_records(trace, records, kernel=kind,
+                              site=f"{kind}:probe")
+        publish_run_span(trace, kind, 0, engine.stats.total_cycles)
     return Fig2KernelResult(
         label=kind,
         records=records,
@@ -123,9 +129,14 @@ def _run_one(kind: str, n: int, num: int, probe_i: int) -> Fig2KernelResult:
 
 
 def run(n: int = PAPER_N, num: int = PAPER_NUM,
-        probe_i: int = PAPER_PROBE_I) -> Fig2Result:
-    """Run the full Figure 2 experiment (both kernels, fresh fabrics)."""
+        probe_i: int = PAPER_PROBE_I, trace=None) -> Fig2Result:
+    """Run the full Figure 2 experiment (both kernels, fresh fabrics).
+
+    ``trace`` may be a :class:`repro.trace.hub.TraceHub`; both kernels
+    then publish their decoded ``order.record`` probes and a ``run.span``
+    each into it.
+    """
     return Fig2Result(
-        single_task=_run_one("single-task", n, num, probe_i),
-        ndrange=_run_one("ndrange", n, num, probe_i),
+        single_task=_run_one("single-task", n, num, probe_i, trace=trace),
+        ndrange=_run_one("ndrange", n, num, probe_i, trace=trace),
     )

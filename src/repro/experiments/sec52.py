@@ -101,9 +101,14 @@ class Sec52Result:
 
 
 def run(n: int = 24, offset: int = 4, src_size: int = 24,
-        depth: int = 256) -> Sec52Result:
-    """Run the faulty kernel under full watchpoint instrumentation."""
-    fabric = Fabric()
+        depth: int = 256, trace=None) -> Sec52Result:
+    """Run the faulty kernel under full watchpoint instrumentation.
+
+    ``trace`` may be a :class:`repro.trace.hub.TraceHub`; the watchpoint
+    then publishes raw ibuffer drains and typed ``watch.event`` records,
+    plus one ``run.span`` for the kernel launch.
+    """
+    fabric = Fabric(trace=trace)
     watchpoint = SmartWatchpoint(fabric, units=2, depth=depth,
                                  max_watches=2, invariance=True)
     src = fabric.memory.allocate("src", src_size)
@@ -113,7 +118,10 @@ def run(n: int = 24, offset: int = 4, src_size: int = 24,
     watchpoint.set_bounds_to_buffer("src", unit=0)
 
     kernel = FaultyStencilKernel(watchpoint)
-    fabric.run_kernel(kernel, {"n": n, "offset": offset})
+    engine = fabric.run_kernel(kernel, {"n": n, "offset": offset})
+    if trace is not None:
+        from repro.trace.capture import publish_run_span
+        publish_run_span(trace, kernel.name, 0, engine.stats.total_cycles)
 
     unit0 = decode_events(watchpoint.read_unit(0))
     unit1 = decode_events(watchpoint.read_unit(1))

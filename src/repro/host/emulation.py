@@ -91,9 +91,12 @@ class Emulator:
     fabric are emulated cooperatively (see module docstring).
     """
 
-    def __init__(self, fabric: Fabric) -> None:
+    def __init__(self, fabric: Fabric, trace: Optional[Any] = None) -> None:
         self.fabric = fabric
         self.stats = EmulationStats()
+        #: Optional trace hub; defaults to the fabric's. Each emulated
+        #: kernel run publishes one ``emu.kernel`` record (ts = steps).
+        self.trace = trace if trace is not None else fabric.trace
         self._step = 0
         self._channels: Dict[int, _EmulatedChannel] = {}
         self._discover_services()
@@ -141,10 +144,22 @@ class Emulator:
         if kernel.kind == "ndrange":
             # Sequential emulation: program order regardless of policy.
             space = sorted(space)
+        before = (self.stats.iterations, self.stats.loads, self.stats.stores,
+                  self.stats.channel_reads, self.stats.channel_writes)
         for tag in space:
             context = KernelContext(instance, iteration=tag)
             self._run_body(kernel.body(context))
             self.stats.iterations += 1
+        if self.trace is not None:
+            from repro.trace.capture import publish_emulation_run
+            after = (self.stats.iterations, self.stats.loads,
+                     self.stats.stores, self.stats.channel_reads,
+                     self.stats.channel_writes)
+            delta = [now - then for now, then in zip(after, before)]
+            publish_emulation_run(self.trace, kernel.name, self._step, {
+                "iterations": delta[0], "loads": delta[1],
+                "stores": delta[2], "channel_reads": delta[3],
+                "channel_writes": delta[4]})
         return self.stats
 
     def _run_body(self, body) -> None:

@@ -51,6 +51,10 @@ class CommandQueue:
             host_event.stats = stats
             host_event.end_cycle = sim.now
             host_event.status = EventStatus.COMPLETE
+            if fabric.trace is not None:
+                from repro.trace.capture import publish_host_event
+                publish_host_event(fabric.trace, host_event,
+                                   kernel=kernel.name)
             done.succeed()
 
         sim.process(_command(), name=f"queue.{kernel.name}")

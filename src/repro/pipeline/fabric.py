@@ -24,13 +24,19 @@ class Fabric:
 
     def __init__(self, sim: Optional[Simulator] = None,
                  memory_config: Optional[GlobalMemoryConfig] = None,
-                 keep_lsu_samples: bool = True) -> None:
+                 keep_lsu_samples: bool = True,
+                 trace: Optional[Any] = None) -> None:
         self.sim = sim or Simulator()
         self.channels = ChannelNamespace(self.sim)
         self.memory = GlobalMemory(self.sim, config=memory_config)
         #: When True, LSUs retain per-access latency samples (ground truth
         #: used to validate what the stall monitor reconstructs).
         self.keep_lsu_samples = keep_lsu_samples
+        #: Optional :class:`repro.trace.hub.TraceHub`; when set, every
+        #: instrumentation source on this fabric publishes typed records
+        #: into it (ibuffer READ drains, latency pairs, watch events,
+        #: vendor counters, host-queue events).
+        self.trace = trace
         self.autorun_engines: List[AutorunEngine] = []
         self.engines: List[PipelineEngine] = []
         #: Persistent service kernels modelled *analytically* (no per-cycle
@@ -39,6 +45,19 @@ class Fabric:
         #: never consume simulation events.
         self.service_kernels: List[AutorunKernel] = []
         self._lazy_counters: List[Any] = []
+
+    def enable_tracing(self, hub: Optional[Any] = None) -> Any:
+        """Install (and return) a trace hub on this fabric.
+
+        With no argument a fresh :class:`repro.trace.hub.TraceHub` is
+        created. Imported lazily so the base fabric stays importable
+        without the trace subsystem.
+        """
+        if hub is None:
+            from repro.trace.hub import TraceHub
+            hub = TraceHub()
+        self.trace = hub
+        return hub
 
     # -- kernels ---------------------------------------------------------
 

@@ -1,0 +1,133 @@
+"""Source adapters: publish instrumentation output into a TraceHub.
+
+Each helper maps one existing producer's native shape (ibuffer entry
+dicts, :class:`LatencySample`, :class:`OrderRecord`, vendor-profiler
+reports, host events, emulation stats) onto the typed schemas of
+:mod:`repro.trace.schema`. The producers call these when their fabric has
+a hub installed (``Fabric(trace=hub)`` / ``fabric.enable_tracing()``);
+they are also usable directly for custom sources.
+
+All imports of producer types stay local to the functions — the trace
+package must remain importable without dragging in the simulator stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.trace.hub import TraceHub
+
+
+def ibuffer_schema_name(ibuffer_name: str) -> str:
+    """Schema name for raw READ drains of one ibuffer family."""
+    return f"ibuffer.{ibuffer_name}"
+
+
+def publish_ibuffer_entries(hub: TraceHub, ibuffer, unit: int,
+                            entries: Sequence[Dict[str, int]]) -> int:
+    """Publish raw trace entries drained from one ibuffer compute unit.
+
+    A per-layout schema ``ibuffer.<name>`` is registered on first use;
+    the entry's ``timestamp`` field (when the layout has one) becomes the
+    record's ``ts``, all other fields are payload.
+    """
+    layout_fields = tuple(name for name in ibuffer.layout.fields
+                          if name != "timestamp")
+    schema = hub.ensure_schema(
+        ibuffer_schema_name(ibuffer.name), layout_fields,
+        doc=f"Raw READ drain of ibuffer {ibuffer.name!r}")
+    site = f"{ibuffer.name}[{unit}]"
+    for entry in entries:
+        payload = {name: entry[name] for name in layout_fields}
+        hub.emit(schema.name, entry.get("timestamp", 0),
+                 kernel=ibuffer.name, cu=unit, site=site, **payload)
+    return len(entries)
+
+
+def publish_latency_samples(hub: TraceHub, samples: Iterable,
+                            kernel: str = "", cu: int = 0,
+                            site: str = "") -> int:
+    """Publish paired :class:`LatencySample` measurements."""
+    count = 0
+    for sample in samples:
+        hub.emit("latency.sample", sample.start_cycle, kernel=kernel,
+                 cu=cu, site=site,
+                 start_cycle=sample.start_cycle, end_cycle=sample.end_cycle,
+                 latency=sample.latency, start_value=sample.start_value,
+                 end_value=sample.end_value)
+        count += 1
+    return count
+
+
+def publish_watch_events(hub: TraceHub, entries: Sequence[Dict[str, int]],
+                         kernel: str = "", cu: int = 0,
+                         site: str = "") -> int:
+    """Publish decoded watchpoint entries (timestamp/address/tag/kind)."""
+    for entry in entries:
+        hub.emit("watch.event", entry["timestamp"], kernel=kernel, cu=cu,
+                 site=site, address=entry["address"], tag=entry["tag"],
+                 kind=entry["kind"])
+    return len(entries)
+
+
+def publish_order_records(hub: TraceHub, records: Iterable,
+                          kernel: str = "", cu: int = 0,
+                          site: str = "") -> int:
+    """Publish Figure 2 :class:`OrderRecord` issue-order probes."""
+    count = 0
+    for record in records:
+        hub.emit("order.record", record.timestamp, kernel=kernel, cu=cu,
+                 site=site, seq=record.seq, outer=record.outer,
+                 inner=record.inner)
+        count += 1
+    return count
+
+
+def publish_run_span(hub: TraceHub, kernel: str, start: int, end: int,
+                     cu: int = 0, site: str = "") -> None:
+    """Publish one kernel launch's [start, end] cycle extent."""
+    hub.emit("run.span", start, kernel=kernel, cu=cu,
+             site=site or kernel, start=start, end=end)
+
+
+def publish_vendor_report(hub: TraceHub, report, kernel: str = "") -> int:
+    """Publish a :class:`VendorProfileReport`'s counters.
+
+    LSU counters go to ``counter.lsu`` (site = memory site), channel
+    counters to ``counter.channel`` (site = channel name); ``ts`` is the
+    end of the profiling window.
+    """
+    ts = report.window_cycles
+    count = 0
+    for lsu in report.lsus:
+        hub.emit("counter.lsu", ts, kernel=kernel, site=lsu.site,
+                 accesses=lsu.accesses,
+                 total_latency=lsu.total_latency_cycles,
+                 max_latency=lsu.max_latency_cycles)
+        count += 1
+    for channel in report.channels:
+        hub.emit("counter.channel", ts, kernel=kernel, site=channel.name,
+                 writes=channel.writes, reads=channel.reads,
+                 write_stalls=channel.write_stall_cycles,
+                 read_stalls=channel.read_stall_cycles,
+                 max_occupancy=channel.max_occupancy)
+        count += 1
+    return count
+
+
+def publish_host_event(hub: TraceHub, event, kernel: str = "") -> None:
+    """Publish one completed host-queue event's lifecycle cycles."""
+    hub.emit("host.command", event.queued_cycle or 0,
+             kernel=kernel or event.description, site=event.description,
+             queued=event.queued_cycle or 0, start=event.start_cycle or 0,
+             end=event.end_cycle or 0)
+
+
+def publish_emulation_run(hub: TraceHub, kernel: str, step: int,
+                          counts: Dict[str, int]) -> None:
+    """Publish one emulator kernel run's operation counts (ts = steps)."""
+    hub.emit("emu.kernel", step, kernel=kernel, site=kernel,
+             iterations=counts.get("iterations", 0),
+             loads=counts.get("loads", 0), stores=counts.get("stores", 0),
+             channel_reads=counts.get("channel_reads", 0),
+             channel_writes=counts.get("channel_writes", 0))

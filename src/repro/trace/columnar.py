@@ -1,0 +1,386 @@
+"""Columnar trace storage: the ``.ctb`` (columnar trace bundle) format.
+
+Zero-dependency on-disk layout, designed for append-only accumulation
+across runs (multi-run sweeps write into one file) and cheap scans:
+
+::
+
+    +--------+----------------+----------------+-----+--------+-----+-------+
+    | "CTB1" | segment 0 data | segment 1 data | ... | footer | len | "CTB1"|
+    +--------+----------------+----------------+-----+--------+-----+-------+
+
+* **Segment data** is one little-endian ``int64`` array per column,
+  concatenated in column order ``ts, kernel, cu, site, <payload fields>``.
+  ``kernel`` and ``site`` hold indices into the segment's string
+  dictionary; everything else is a plain integer.
+* The **footer** is a UTF-8 JSON document indexing every segment: schema
+  name, payload fields, row count, byte offset/length, the string
+  dictionary, and the segment's ``min_ts``/``max_ts`` (used to prune
+  whole segments during time-window queries).
+* The trailer is the footer's byte length (``uint64`` LE) plus the magic
+  again, so appending = truncate trailer, add segments, rewrite footer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceStoreError
+from repro.trace.hub import TraceSink
+from repro.trace.schema import (
+    STANDARD_COLUMNS,
+    SchemaRegistry,
+    TraceRecord,
+    TraceSchema,
+)
+
+MAGIC = b"CTB1"
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+FORMAT_VERSION = 1
+
+
+def _check_int64(value: int, column: str) -> int:
+    if not _INT64_MIN <= value <= _INT64_MAX:
+        raise TraceStoreError(
+            f"column {column!r}: value {value} does not fit in int64")
+    return value
+
+
+class Segment:
+    """One immutable run of same-schema records, stored column-wise."""
+
+    __slots__ = ("schema", "fields", "strings", "columns")
+
+    def __init__(self, schema: str, fields: Tuple[str, ...],
+                 strings: List[str],
+                 columns: Dict[str, List[int]]) -> None:
+        self.schema = schema
+        self.fields = fields
+        self.strings = strings
+        self.columns = columns
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_records(cls, schema: TraceSchema,
+                     records: Sequence[TraceRecord]) -> "Segment":
+        """Build a segment from same-schema records (order preserved)."""
+        strings: List[str] = []
+        string_ids: Dict[str, int] = {}
+
+        def intern(text: str) -> int:
+            if text not in string_ids:
+                string_ids[text] = len(strings)
+                strings.append(text)
+            return string_ids[text]
+
+        columns: Dict[str, List[int]] = {name: [] for name in schema.columns}
+        for record in records:
+            if record.schema != schema.name:
+                raise TraceStoreError(
+                    f"record of schema {record.schema!r} in segment "
+                    f"{schema.name!r}")
+            if len(record.values) != len(schema.fields):
+                raise TraceStoreError(
+                    f"record has {len(record.values)} values; schema "
+                    f"{schema.name!r} declares {len(schema.fields)}")
+            columns["ts"].append(_check_int64(int(record.ts), "ts"))
+            columns["kernel"].append(intern(record.kernel))
+            columns["cu"].append(_check_int64(int(record.cu), "cu"))
+            columns["site"].append(intern(record.site))
+            for name, value in zip(schema.fields, record.values):
+                columns[name].append(_check_int64(int(value), name))
+        return cls(schema.name, schema.fields, strings, columns)
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Number of records stored in this segment."""
+        return len(self.columns["ts"])
+
+    @property
+    def min_ts(self) -> int:
+        """Smallest timestamp in the segment (0 when empty)."""
+        return min(self.columns["ts"]) if self.rows else 0
+
+    @property
+    def max_ts(self) -> int:
+        """Largest timestamp in the segment (0 when empty)."""
+        return max(self.columns["ts"]) if self.rows else 0
+
+    @property
+    def column_order(self) -> Tuple[str, ...]:
+        """On-disk column order: standard columns then payload fields."""
+        return STANDARD_COLUMNS + self.fields
+
+    # -- row access --------------------------------------------------------
+
+    def record(self, index: int) -> TraceRecord:
+        """Materialize row ``index`` back into a :class:`TraceRecord`."""
+        return TraceRecord(
+            schema=self.schema,
+            ts=self.columns["ts"][index],
+            kernel=self.strings[self.columns["kernel"][index]],
+            cu=self.columns["cu"][index],
+            site=self.strings[self.columns["site"][index]],
+            values=tuple(self.columns[name][index] for name in self.fields))
+
+    def row(self, index: int) -> Dict[str, object]:
+        """Row ``index`` as a flat dict (strings decoded)."""
+        out: Dict[str, object] = {
+            "schema": self.schema,
+            "ts": self.columns["ts"][index],
+            "kernel": self.strings[self.columns["kernel"][index]],
+            "cu": self.columns["cu"][index],
+            "site": self.strings[self.columns["site"][index]],
+        }
+        for name in self.fields:
+            out[name] = self.columns[name][index]
+        return out
+
+    # -- (de)serialization -------------------------------------------------
+
+    def payload_bytes(self) -> bytes:
+        """The segment's column data as on-disk bytes."""
+        parts = []
+        for name in self.column_order:
+            values = self.columns[name]
+            parts.append(struct.pack(f"<{len(values)}q", *values))
+        return b"".join(parts)
+
+    def meta(self, offset: int, length: int) -> Dict[str, object]:
+        """Footer-index entry for this segment at the given extent."""
+        return {
+            "schema": self.schema,
+            "fields": list(self.fields),
+            "rows": self.rows,
+            "offset": offset,
+            "length": length,
+            "strings": list(self.strings),
+            "min_ts": self.min_ts,
+            "max_ts": self.max_ts,
+        }
+
+    @classmethod
+    def from_payload(cls, meta: Dict[str, object], data: bytes) -> "Segment":
+        """Decode one segment from its footer entry + raw column bytes."""
+        fields = tuple(meta["fields"])
+        rows = int(meta["rows"])
+        order = STANDARD_COLUMNS + fields
+        expected = rows * 8 * len(order)
+        if len(data) != expected:
+            raise TraceStoreError(
+                f"segment {meta['schema']!r}: expected {expected} payload "
+                f"bytes, got {len(data)}")
+        columns: Dict[str, List[int]] = {}
+        for index, name in enumerate(order):
+            start = index * rows * 8
+            columns[name] = list(
+                struct.unpack_from(f"<{rows}q", data, start))
+        return cls(str(meta["schema"]), fields, list(meta["strings"]),
+                   columns)
+
+
+class ColumnarStore:
+    """An ordered collection of segments, loadable/savable as one file."""
+
+    def __init__(self, segments: Optional[List[Segment]] = None) -> None:
+        self.segments: List[Segment] = list(segments or [])
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord],
+                     registry: SchemaRegistry) -> "ColumnarStore":
+        """Group records by schema (arrival order kept) into segments."""
+        store = cls()
+        store.append_records(records, registry)
+        return store
+
+    def append_records(self, records: Iterable[TraceRecord],
+                       registry: SchemaRegistry) -> int:
+        """Append new segments for the given records; returns rows added."""
+        grouped: Dict[str, List[TraceRecord]] = {}
+        for record in records:
+            grouped.setdefault(record.schema, []).append(record)
+        added = 0
+        # Deterministic segment order: first-appearance order of schemas.
+        for name, group in grouped.items():
+            segment = Segment.from_records(registry.get(name), group)
+            self.segments.append(segment)
+            added += segment.rows
+        return added
+
+    # -- shape -------------------------------------------------------------
+
+    def schemas(self) -> List[str]:
+        """Schema names present, sorted."""
+        return sorted({segment.schema for segment in self.segments})
+
+    def fields_of(self, schema: str) -> Tuple[str, ...]:
+        """Payload fields of a stored schema (first matching segment)."""
+        for segment in self.segments:
+            if segment.schema == schema:
+                return segment.fields
+        raise TraceStoreError(f"store holds no segment of schema {schema!r}")
+
+    def total_rows(self) -> int:
+        """Total records across all segments."""
+        return sum(segment.rows for segment in self.segments)
+
+    def __len__(self) -> int:
+        return self.total_rows()
+
+    def records(self) -> List[TraceRecord]:
+        """Every stored record, in (segment, row) order."""
+        out: List[TraceRecord] = []
+        for segment in self.segments:
+            for index in range(segment.rows):
+                out.append(segment.record(index))
+        return out
+
+    # -- disk format -------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the whole store to ``path`` (overwrites)."""
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            offset = len(MAGIC)
+            metas: List[Dict[str, object]] = []
+            for segment in self.segments:
+                data = segment.payload_bytes()
+                handle.write(data)
+                metas.append(segment.meta(offset, len(data)))
+                offset += len(data)
+            _write_trailer(handle, metas)
+
+    @classmethod
+    def load(cls, path: str) -> "ColumnarStore":
+        """Read a ``.ctb`` file back into memory."""
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise TraceStoreError(f"cannot read trace store: {exc}") from exc
+        metas = _parse_trailer(data)
+        segments = []
+        for meta in metas:
+            start = int(meta["offset"])
+            end = start + int(meta["length"])
+            if end > len(data):
+                raise TraceStoreError(
+                    f"segment extent {start}:{end} beyond file size "
+                    f"{len(data)}")
+            segments.append(Segment.from_payload(meta, data[start:end]))
+        return cls(segments)
+
+    @staticmethod
+    def append_to(path: str, records: Iterable[TraceRecord],
+                  registry: SchemaRegistry) -> int:
+        """Create ``path`` or append segments to it; returns rows added.
+
+        Existing segment bytes are untouched: the trailer is truncated,
+        new segments appended, and a combined footer rewritten — this is
+        how multi-run sweeps accumulate into one bundle.
+        """
+        delta = ColumnarStore.from_records(records, registry)
+        if not os.path.exists(path):
+            delta.save(path)
+            return delta.total_rows()
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            handle.seek(0)
+            head = handle.read(len(MAGIC))
+            if head != MAGIC:
+                raise TraceStoreError(f"{path!r} is not a CTB file")
+            handle.seek(size - 12)
+            footer_len = struct.unpack("<Q", handle.read(8))[0]
+            if handle.read(4) != MAGIC:
+                raise TraceStoreError(f"{path!r}: trailing magic missing")
+            footer_start = size - 12 - footer_len
+            if footer_start < len(MAGIC):
+                raise TraceStoreError(f"{path!r}: footer length corrupt")
+            handle.seek(footer_start)
+            try:
+                footer = json.loads(handle.read(footer_len).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TraceStoreError(
+                    f"{path!r}: footer is not valid JSON") from exc
+            metas = list(footer.get("segments", []))
+            handle.seek(footer_start)
+            handle.truncate()
+            offset = footer_start
+            for segment in delta.segments:
+                data = segment.payload_bytes()
+                handle.write(data)
+                metas.append(segment.meta(offset, len(data)))
+                offset += len(data)
+            _write_trailer(handle, metas)
+        return delta.total_rows()
+
+
+def _write_trailer(handle, metas: List[Dict[str, object]]) -> None:
+    footer = json.dumps({"version": FORMAT_VERSION, "segments": metas},
+                        sort_keys=True).encode("utf-8")
+    handle.write(footer)
+    handle.write(struct.pack("<Q", len(footer)))
+    handle.write(MAGIC)
+
+
+def _parse_trailer(data: bytes) -> List[Dict[str, object]]:
+    if len(data) < len(MAGIC) + 12 or not data.startswith(MAGIC):
+        raise TraceStoreError("not a CTB file (bad or missing magic)")
+    if data[-4:] != MAGIC:
+        raise TraceStoreError("truncated CTB file (trailing magic missing)")
+    footer_len = struct.unpack("<Q", data[-12:-4])[0]
+    footer_start = len(data) - 12 - footer_len
+    if footer_start < len(MAGIC):
+        raise TraceStoreError("corrupt CTB footer length")
+    try:
+        footer = json.loads(data[footer_start:-12].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceStoreError("CTB footer is not valid JSON") from exc
+    version = footer.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceStoreError(f"unsupported CTB version {version!r}")
+    return list(footer.get("segments", []))
+
+
+class ColumnarSink(TraceSink):
+    """Hub sink that persists every record to a ``.ctb`` file on close.
+
+    Records are buffered in memory and sealed into segments when the hub
+    is closed (or :meth:`flush` is called explicitly); each flush appends
+    to the target file, so repeated runs accumulate.
+    """
+
+    def __init__(self, path: str, registry: SchemaRegistry) -> None:
+        self.path = path
+        self.registry = registry
+        self._pending: List[TraceRecord] = []
+        #: Total rows written to disk over this sink's lifetime.
+        self.rows_written = 0
+
+    def on_record(self, schema: TraceSchema, record: TraceRecord) -> None:
+        """Buffer the record for the next flush."""
+        self._pending.append(record)
+
+    def flush(self) -> int:
+        """Seal buffered records into segments appended to the file."""
+        if not self._pending:
+            return 0
+        added = ColumnarStore.append_to(self.path, self._pending,
+                                        self.registry)
+        self.rows_written += added
+        self._pending = []
+        return added
+
+    def close(self) -> None:
+        """Flush any buffered records (called by ``TraceHub.close``)."""
+        self.flush()

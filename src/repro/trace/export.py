@@ -1,0 +1,180 @@
+"""Exporters for stored traces: Chrome trace-event JSON, CSV, JSON.
+
+The Chrome exporter produces the `trace-event format`_ consumed by
+Perfetto / ``chrome://tracing``: one *process* per kernel (``pid``), one
+*thread* per compute unit (``tid``); stall-monitor latency pairs and
+kernel launches become complete-event spans (``ph: "X"``), watchpoint
+hits and raw ibuffer drains become instants (``ph: "i"``), and
+vendor-profiler counters become counter events (``ph: "C"``). Timestamps
+are simulation cycles used as microseconds.
+
+The CSV/JSON adapters reuse the existing :mod:`repro.analysis.export`
+helpers so flat-file consumers keep one code path.
+
+.. _trace-event format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import TraceStoreError
+from repro.trace.columnar import ColumnarStore
+from repro.trace.query import TraceQuery
+
+#: Event phases the exporter emits (the subset of the spec we use).
+_SPAN, _INSTANT, _COUNTER, _METADATA = "X", "i", "C", "M"
+
+
+def _watch_kind_name(kind: int) -> str:
+    from repro.core.logic_blocks import (
+        KIND_BOUND_VIOLATION,
+        KIND_INVARIANCE_VIOLATION,
+        KIND_MATCH,
+    )
+    names = {KIND_MATCH: "watch-hit",
+             KIND_BOUND_VIOLATION: "bound-violation",
+             KIND_INVARIANCE_VIOLATION: "invariance-violation"}
+    return names.get(kind, f"watch-kind-{kind}")
+
+
+def chrome_trace_events(store: ColumnarStore) -> List[Dict[str, object]]:
+    """Stored trace -> list of Chrome trace-event dicts.
+
+    Deterministic: pids are assigned to kernels in sorted order, events
+    appear in storage order per category.
+    """
+    rows = TraceQuery(store).rows()
+    kernels = sorted({str(row["kernel"]) for row in rows})
+    pids = {kernel: index + 1 for index, kernel in enumerate(kernels)}
+
+    events: List[Dict[str, object]] = []
+    for kernel in kernels:
+        events.append({"ph": _METADATA, "name": "process_name",
+                       "pid": pids[kernel], "tid": 0,
+                       "args": {"name": kernel or "(unattributed)"}})
+
+    for row in rows:
+        schema = str(row["schema"])
+        pid = pids[str(row["kernel"])]
+        tid = int(row["cu"])
+        base = {"pid": pid, "tid": tid, "cat": schema}
+        site = str(row["site"])
+        if schema == "latency.sample":
+            events.append({**base, "ph": _SPAN, "name": site or "latency",
+                           "ts": row["start_cycle"], "dur": row["latency"],
+                           "args": {"start_value": row["start_value"],
+                                    "end_value": row["end_value"]}})
+        elif schema == "run.span":
+            events.append({**base, "ph": _SPAN, "name": site or "run",
+                           "ts": row["start"],
+                           "dur": int(row["end"]) - int(row["start"]),
+                           "args": {}})
+        elif schema == "host.command":
+            events.append({**base, "ph": _SPAN, "name": site or "command",
+                           "ts": row["start"],
+                           "dur": int(row["end"]) - int(row["start"]),
+                           "args": {"queued": row["queued"]}})
+        elif schema == "watch.event":
+            events.append({**base, "ph": _INSTANT,
+                           "name": _watch_kind_name(int(row["kind"])),
+                           "ts": row["ts"], "s": "t",
+                           "args": {"address": row["address"],
+                                    "tag": row["tag"]}})
+        elif schema in ("counter.lsu", "counter.channel"):
+            args = {name: row[name] for name in store.fields_of(schema)}
+            events.append({**base, "ph": _COUNTER, "name": site or schema,
+                           "ts": row["ts"], "args": args})
+        else:
+            # Generic instants: raw ibuffer drains, order records, emu runs.
+            args = {name: value for name, value in row.items()
+                    if name not in ("schema", "ts", "kernel", "cu", "site")}
+            events.append({**base, "ph": _INSTANT, "name": site or schema,
+                           "ts": row["ts"], "s": "t", "args": args})
+    return events
+
+
+def to_chrome_json(store: ColumnarStore, pretty: bool = True) -> str:
+    """Stored trace -> Chrome/Perfetto-loadable JSON document."""
+    document = {
+        "traceEvents": chrome_trace_events(store),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro-fpga", "time_unit": "cycles"},
+    }
+    return json.dumps(document, indent=2 if pretty else None, sort_keys=True)
+
+
+def validate_chrome_events(events: Sequence[Dict[str, object]]) -> List[str]:
+    """Check events against the trace-event schema; returns problems.
+
+    Used by the test suite and the CLI exporter to guarantee the artifact
+    loads in Perfetto: every event needs a known phase, integer ``pid``/
+    ``tid``, a non-negative numeric ``ts`` (except metadata), a ``dur``
+    for complete events, and a scope for instants.
+    """
+    problems: List[str] = []
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        phase = event.get("ph")
+        if phase not in (_SPAN, _INSTANT, _COUNTER, _METADATA):
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing/empty name")
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], int):
+                problems.append(f"{where}: {key} must be an int")
+        if phase == _METADATA:
+            if not isinstance(event.get("args"), dict):
+                problems.append(f"{where}: metadata event needs args")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if phase == _SPAN:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs dur >= 0")
+        if phase == _INSTANT and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant needs scope s in t/p/g")
+    return problems
+
+
+# -- flat-file adapters -------------------------------------------------------
+
+def store_to_entries(store: ColumnarStore, schema: str
+                     ) -> List[Dict[str, int]]:
+    """One schema's rows as integer-only entry dicts (``ts``, ``cu`` and
+    the payload fields; string columns are dropped — use JSON for those).
+    """
+    if schema not in store.schemas():
+        raise TraceStoreError(
+            f"store holds no records of schema {schema!r}; "
+            f"present: {', '.join(store.schemas()) or '(empty)'}")
+    entries = []
+    for row in TraceQuery(store).schema(schema).rows():
+        entry = {"ts": int(row["ts"]), "cu": int(row["cu"])}
+        for name in store.fields_of(schema):
+            entry[name] = int(row[name])
+        entries.append(entry)
+    return entries
+
+
+def store_to_csv(store: ColumnarStore, schema: str) -> str:
+    """One schema's rows as CSV (header always present, even when empty)."""
+    from repro.analysis.export import entries_to_csv
+
+    fields = ("ts", "cu") + store.fields_of(schema)
+    return entries_to_csv(store_to_entries(store, schema),
+                          allow_empty=True, fields=fields)
+
+
+def store_to_json(store: ColumnarStore,
+                  schema: Optional[str] = None) -> str:
+    """Rows (all schemas or one) as a JSON array with string columns kept."""
+    query = TraceQuery(store)
+    if schema is not None:
+        query.schema(schema)
+    return json.dumps(query.rows(), indent=2, sort_keys=True)

@@ -1,0 +1,143 @@
+"""The streaming trace hub: sources publish, sinks consume.
+
+A :class:`TraceHub` is the single funnel every instrumentation source
+emits typed records into. Sinks attached to the hub observe every record
+as it is published — an in-memory sink is always present (``hub.records``),
+and :class:`repro.trace.columnar.ColumnarSink` persists to disk. The hub
+owns a :class:`~repro.trace.schema.SchemaRegistry` and validates each
+emission against it, so a store never receives a malformed record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import TraceSchemaError
+from repro.trace.schema import SchemaRegistry, TraceRecord, TraceSchema
+
+
+class TraceSink:
+    """Consumer interface: override :meth:`on_record`; ``close`` optional.
+
+    Sinks must never raise from ``on_record`` for well-formed records —
+    tracing must not take down the run it observes.
+    """
+
+    def on_record(self, schema: TraceSchema, record: TraceRecord) -> None:
+        """Observe one validated record (schema resolved by the hub)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; called by :meth:`TraceHub.close`."""
+
+
+class MemorySink(TraceSink):
+    """Accumulates records in arrival order (the default hub sink)."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def on_record(self, schema: TraceSchema, record: TraceRecord) -> None:
+        """Append the record to :attr:`records`."""
+        self.records.append(record)
+
+
+class TraceHub:
+    """Publish/subscribe funnel for trace records.
+
+    ``keep_records=True`` (default) attaches a :class:`MemorySink` so
+    ``hub.records`` holds everything published; pass ``False`` for
+    fire-and-forget streaming into explicit sinks only.
+    """
+
+    def __init__(self, registry: Optional[SchemaRegistry] = None,
+                 keep_records: bool = True) -> None:
+        self.registry = registry if registry is not None else SchemaRegistry()
+        self._sinks: List[TraceSink] = []
+        self._memory: Optional[MemorySink] = None
+        if keep_records:
+            self._memory = MemorySink()
+            self._sinks.append(self._memory)
+        #: Emission counts per schema name (cheap observability).
+        self.counts: Dict[str, int] = {}
+        self._closed = False
+
+    # -- schema management ------------------------------------------------
+
+    def register(self, schema: TraceSchema) -> TraceSchema:
+        """Register a schema on the hub's registry (conflicts raise)."""
+        return self.registry.register(schema)
+
+    def ensure_schema(self, name: str, fields, doc: str = "") -> TraceSchema:
+        """Register-if-absent (dynamic sources such as ibuffer layouts)."""
+        return self.registry.ensure(name, fields, doc=doc)
+
+    # -- sinks -------------------------------------------------------------
+
+    def attach(self, sink: TraceSink) -> TraceSink:
+        """Attach a sink; it observes all records published afterwards."""
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: TraceSink) -> None:
+        """Remove a previously attached sink (no-op if absent)."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    # -- publishing --------------------------------------------------------
+
+    def emit(self, schema_name: str, ts: int, *, kernel: str = "",
+             cu: int = 0, site: str = "", **fields: int) -> TraceRecord:
+        """Validate and publish one record; returns it.
+
+        ``fields`` must exactly match the schema's payload fields.
+        """
+        if self._closed:
+            raise TraceSchemaError("cannot emit on a closed TraceHub")
+        schema = self.registry.get(schema_name)
+        record = TraceRecord(schema=schema_name, ts=int(ts),
+                             kernel=str(kernel), cu=int(cu), site=str(site),
+                             values=schema.pack(fields))
+        self._dispatch(schema, record)
+        return record
+
+    def emit_record(self, record: TraceRecord) -> TraceRecord:
+        """Publish an already-built record (re-publishing between hubs)."""
+        if self._closed:
+            raise TraceSchemaError("cannot emit on a closed TraceHub")
+        schema = self.registry.get(record.schema)
+        if len(record.values) != len(schema.fields):
+            raise TraceSchemaError(
+                f"record has {len(record.values)} values; schema "
+                f"{schema.name!r} declares {len(schema.fields)} fields")
+        self._dispatch(schema, record)
+        return record
+
+    def _dispatch(self, schema: TraceSchema, record: TraceRecord) -> None:
+        self.counts[schema.name] = self.counts.get(schema.name, 0) + 1
+        for sink in self._sinks:
+            sink.on_record(schema, record)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Everything published so far (requires ``keep_records=True``)."""
+        if self._memory is None:
+            raise TraceSchemaError(
+                "hub was created with keep_records=False; attach a sink")
+        return self._memory.records
+
+    def count(self, schema_name: Optional[str] = None) -> int:
+        """Records published, total or for one schema."""
+        if schema_name is None:
+            return sum(self.counts.values())
+        return self.counts.get(schema_name, 0)
+
+    def close(self) -> None:
+        """Close every attached sink (flushes columnar sinks to disk)."""
+        if self._closed:
+            return
+        self._closed = True
+        for sink in self._sinks:
+            sink.close()

@@ -1,0 +1,262 @@
+"""Query API over columnar trace stores.
+
+:class:`TraceQuery` is a small fluent builder: pick schemas, narrow by
+time window / kernel / CU / site / payload equality, then project rows or
+aggregate. Segment footers carry ``min_ts``/``max_ts``, so time-window
+queries skip whole segments without touching their columns.
+
+The module also provides the bridges that reimplement the legacy
+in-memory analysis paths on top of stored traces:
+:func:`latency_samples` feeds :mod:`repro.analysis.latency` and
+:func:`stored_order_records` feeds :mod:`repro.analysis.order` with
+objects bit-for-bit identical to what the live instrumentation produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TraceSchemaError, TraceStoreError
+from repro.trace.columnar import ColumnarStore, Segment
+from repro.trace.schema import TraceRecord
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary of one numeric column over the matching rows."""
+
+    count: int
+    minimum: int
+    maximum: int
+    total: int
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 for an empty population)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class TraceQuery:
+    """Fluent filter/projection/aggregation over a :class:`ColumnarStore`.
+
+    Filters compose with AND semantics; each narrowing method returns the
+    query itself, so calls chain::
+
+        rows = (TraceQuery(store).schema("latency.sample")
+                .kernel("stall_monitor").between(0, 5_000).rows())
+    """
+
+    def __init__(self, store: ColumnarStore) -> None:
+        self._store = store
+        self._schemas: Optional[set] = None
+        self._since: Optional[int] = None
+        self._until: Optional[int] = None
+        self._kernels: Optional[set] = None
+        self._cus: Optional[set] = None
+        self._sites: Optional[set] = None
+        self._field_equals: Dict[str, int] = {}
+        self._limit: Optional[int] = None
+
+    # -- narrowing ---------------------------------------------------------
+
+    def schema(self, *names: str) -> "TraceQuery":
+        """Keep only records of the named schema(s)."""
+        self._schemas = set(names)
+        return self
+
+    def between(self, since: Optional[int] = None,
+                until: Optional[int] = None) -> "TraceQuery":
+        """Keep records with ``since <= ts < until`` (either side open)."""
+        self._since = since
+        self._until = until
+        return self
+
+    def kernel(self, *names: str) -> "TraceQuery":
+        """Keep records from the named kernel(s)/instrumentation families."""
+        self._kernels = set(names)
+        return self
+
+    def cu(self, *ids: int) -> "TraceQuery":
+        """Keep records from the given compute-unit / unit indices."""
+        self._cus = {int(i) for i in ids}
+        return self
+
+    def site(self, *names: str) -> "TraceQuery":
+        """Keep records from the named source sites."""
+        self._sites = set(names)
+        return self
+
+    def where(self, **field_equals: int) -> "TraceQuery":
+        """Keep records whose payload fields equal the given values."""
+        for name, value in field_equals.items():
+            self._field_equals[name] = int(value)
+        return self
+
+    def limit(self, count: int) -> "TraceQuery":
+        """Stop after ``count`` matching rows (in storage order)."""
+        self._limit = int(count)
+        return self
+
+    # -- execution ---------------------------------------------------------
+
+    def _segment_matches(self, segment: Segment) -> bool:
+        if self._schemas is not None and segment.schema not in self._schemas:
+            return False
+        if segment.rows == 0:
+            return False
+        if self._until is not None and segment.min_ts >= self._until:
+            return False
+        if self._since is not None and segment.max_ts < self._since:
+            return False
+        return True
+
+    def _scan(self):
+        emitted = 0
+        for segment in self._store.segments:
+            if not self._segment_matches(segment):
+                continue
+            ts_col = segment.columns["ts"]
+            kernel_col = segment.columns["kernel"]
+            cu_col = segment.columns["cu"]
+            site_col = segment.columns["site"]
+            strings = segment.strings
+            field_checks = []
+            skip_segment = False
+            for name, value in self._field_equals.items():
+                column = segment.columns.get(name)
+                if column is None:
+                    skip_segment = True   # schema lacks the field: no match
+                    break
+                field_checks.append((column, value))
+            if skip_segment:
+                continue
+            for index in range(segment.rows):
+                ts = ts_col[index]
+                if self._since is not None and ts < self._since:
+                    continue
+                if self._until is not None and ts >= self._until:
+                    continue
+                if (self._kernels is not None
+                        and strings[kernel_col[index]] not in self._kernels):
+                    continue
+                if self._cus is not None and cu_col[index] not in self._cus:
+                    continue
+                if (self._sites is not None
+                        and strings[site_col[index]] not in self._sites):
+                    continue
+                if any(column[index] != value
+                       for column, value in field_checks):
+                    continue
+                yield segment, index
+                emitted += 1
+                if self._limit is not None and emitted >= self._limit:
+                    return
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Matching rows as flat dicts, in storage order."""
+        return [segment.row(index) for segment, index in self._scan()]
+
+    def records(self) -> List[TraceRecord]:
+        """Matching rows as :class:`TraceRecord` objects."""
+        return [segment.record(index) for segment, index in self._scan()]
+
+    def select(self, *columns: str) -> List[Tuple]:
+        """Project the named columns from matching rows, as tuples."""
+        out = []
+        for segment, index in self._scan():
+            row = segment.row(index)
+            try:
+                out.append(tuple(row[name] for name in columns))
+            except KeyError as exc:
+                raise TraceSchemaError(
+                    f"schema {segment.schema!r} has no column {exc.args[0]!r};"
+                    f" columns: {sorted(row)}") from None
+        return out
+
+    def count(self) -> int:
+        """Number of matching rows."""
+        return sum(1 for _ in self._scan())
+
+    def aggregate(self, field: str, by: Optional[str] = None
+                  ) -> Union[Aggregate, Dict[object, Aggregate]]:
+        """Count/min/max/total/mean of ``field`` over matching rows.
+
+        With ``by`` (any column, e.g. ``"site"`` or ``"kernel"``), returns
+        one :class:`Aggregate` per distinct group key.
+        """
+        groups: Dict[object, List[int]] = {}
+        for segment, index in self._scan():
+            row = segment.row(index)
+            if field not in row:
+                raise TraceSchemaError(
+                    f"schema {segment.schema!r} has no column {field!r}")
+            key = None
+            if by is not None:
+                if by not in row:
+                    raise TraceSchemaError(
+                        f"schema {segment.schema!r} has no column {by!r}")
+                key = row[by]
+            groups.setdefault(key, []).append(int(row[field]))
+        if by is None:
+            values = groups.get(None, [])
+            return _aggregate(values)
+        return {key: _aggregate(values) for key, values in groups.items()}
+
+
+def _aggregate(values: Sequence[int]) -> Aggregate:
+    if not values:
+        return Aggregate(count=0, minimum=0, maximum=0, total=0)
+    return Aggregate(count=len(values), minimum=min(values),
+                     maximum=max(values), total=sum(values))
+
+
+# -- legacy-analysis bridges --------------------------------------------------
+
+def latency_samples(store: ColumnarStore, kernel: Optional[str] = None,
+                    site: Optional[str] = None, cu: Optional[int] = None
+                    ) -> List["LatencySample"]:
+    """Stored ``latency.sample`` records -> :class:`LatencySample` objects.
+
+    The result is bit-for-bit what :meth:`StallMonitor.latencies` returned
+    live, so every :mod:`repro.analysis.latency` function runs unchanged
+    on a stored trace.
+    """
+    from repro.core.stall_monitor import LatencySample
+
+    query = TraceQuery(store).schema("latency.sample")
+    if kernel is not None:
+        query.kernel(kernel)
+    if site is not None:
+        query.site(site)
+    if cu is not None:
+        query.cu(cu)
+    samples = []
+    for row in query.rows():
+        sample = LatencySample(start_cycle=row["start_cycle"],
+                               end_cycle=row["end_cycle"],
+                               start_value=row["start_value"],
+                               end_value=row["end_value"])
+        if sample.latency != row["latency"]:
+            raise TraceStoreError(
+                f"stored latency {row['latency']} disagrees with "
+                f"end-start = {sample.latency} (corrupt record)")
+        samples.append(sample)
+    return samples
+
+
+def stored_order_records(store: ColumnarStore, kernel: Optional[str] = None
+                         ) -> List["OrderRecord"]:
+    """Stored ``order.record`` records -> :class:`OrderRecord` objects.
+
+    Feeds :mod:`repro.analysis.order` (classification, access pattern,
+    Figure 2 rendering) identically to the live decode path.
+    """
+    from repro.analysis.order import OrderRecord
+
+    query = TraceQuery(store).schema("order.record")
+    if kernel is not None:
+        query.kernel(kernel)
+    return [OrderRecord(seq=row["seq"], timestamp=row["ts"],
+                        outer=row["outer"], inner=row["inner"])
+            for row in query.rows()]

@@ -25,6 +25,7 @@ _PACKAGES = [
     "repro.analysis",
     "repro.frontend",
     "repro.experiments",
+    "repro.trace",
 ]
 
 

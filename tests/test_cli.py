@@ -10,32 +10,73 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_experiment_choices(self):
         parser = build_parser()
-        args = parser.parse_args(["fig2", "--n", "4", "--num", "6"])
+        args = parser.parse_args(["run", "fig2", "--n", "4", "--num", "6"])
+        assert args.command == "run"
         assert args.experiment == "fig2"
         assert args.n == 4
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["fig99"])
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--bench-only", "event_throughput", "--no-bench-check"])
+        assert args.command == "bench"
+        assert args.bench_only == ["event_throughput"]
+        assert args.no_bench_check
+
+    def test_trace_subcommands(self):
+        args = build_parser().parse_args(
+            ["trace", "export", "x.ctb", "--format", "chrome", "-o", "x.json"])
+        assert (args.command, args.trace_command) == ("trace", "export")
+        assert args.store == "x.ctb" and args.out == "x.json"
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro-fpga" in capsys.readouterr().out
+
+
+class TestLegacyShim:
+    """The pre-subcommand form keeps working through main()."""
+
+    def test_positional_experiment_still_runs(self, capsys):
+        assert main(["fig2", "--n", "4", "--num", "6"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_shim_only_touches_known_experiments(self):
+        from repro.cli import _shim_legacy_argv
+        assert _shim_legacy_argv(["fig2"]) == ["run", "fig2"]
+        assert _shim_legacy_argv(["all"]) == ["run", "all"]
+        assert _shim_legacy_argv(["bench"]) == ["bench"]
+        assert _shim_legacy_argv(["trace", "info", "x"]) == \
+            ["trace", "info", "x"]
+        assert _shim_legacy_argv([]) == []
 
 
 class TestMain:
     def test_fig2_small(self, capsys):
-        assert main(["fig2", "--n", "4", "--num", "6"]) == 0
+        assert main(["run", "fig2", "--n", "4", "--num", "6"]) == 0
         out = capsys.readouterr().out
         assert "Figure 2" in out
         assert "info_seq[" in out
 
     def test_table1_small(self, capsys):
-        assert main(["table1", "--depth", "64"]) == 0
+        assert main(["run", "table1", "--depth", "64"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "base" in out
 
     def test_limitations(self, capsys):
-        assert main(["limitations"]) == 0
+        assert main(["run", "limitations"]) == 0
         assert "stale" in capsys.readouterr().out
 
     def test_sec52(self, capsys):
-        assert main(["sec52"]) == 0
+        assert main(["run", "sec52"]) == 0
         assert "bound violations" in capsys.readouterr().out

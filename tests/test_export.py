@@ -32,6 +32,27 @@ class TestEntriesCSV:
         with pytest.raises(TraceDecodeError):
             entries_to_csv([])
 
+    def test_empty_allowed_without_fields(self):
+        assert entries_to_csv([], allow_empty=True) == ""
+
+    def test_empty_allowed_with_fields(self):
+        document = entries_to_csv([], allow_empty=True,
+                                  fields=("ts", "value"))
+        assert document == "ts,value\n"
+        assert csv_to_entries(document) == []
+
+    def test_empty_document_round_trip(self):
+        assert csv_to_entries(entries_to_csv([], allow_empty=True),
+                              allow_empty=True) == []
+
+    def test_fields_override_column_order(self):
+        document = entries_to_csv([{"b": 1, "a": 2}], fields=("a", "b"))
+        assert document.splitlines() == ["a,b", "2,1"]
+
+    def test_fields_mismatch_rejected(self):
+        with pytest.raises(TraceDecodeError):
+            entries_to_csv([{"a": 1}], fields=("a", "b"))
+
     def test_inconsistent_fields_rejected(self):
         with pytest.raises(TraceDecodeError):
             entries_to_csv([{"a": 1}, {"b": 2}])
@@ -57,6 +78,12 @@ class TestLatencyCSV:
     def test_empty_rejected(self):
         with pytest.raises(TraceDecodeError):
             latency_samples_to_csv([])
+
+    def test_empty_allowed_is_header_only(self):
+        document = latency_samples_to_csv([], allow_empty=True)
+        assert document == \
+            "start_cycle,end_cycle,latency,start_value,end_value\n"
+        assert csv_to_entries(document) == []
 
 
 class TestSynthesisExport:

@@ -1,0 +1,162 @@
+"""Property tests: trace records survive every storage/export round trip.
+
+The pipeline under test is the issue's lossless-ness criterion:
+records -> columnar store -> save/load -> query -> export -> parse must
+preserve every value exactly, for arbitrary schemas, strings, and the
+full int64 payload range.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.export import csv_to_entries, entries_to_csv
+from repro.trace import (
+    ColumnarStore,
+    SchemaRegistry,
+    TraceQuery,
+    TraceRecord,
+    TraceSchema,
+)
+from repro.trace.export import chrome_trace_events, validate_chrome_events
+
+_INT64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+_TS = st.integers(min_value=0, max_value=2 ** 48)
+_LABEL = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=8)
+
+_FIELD_NAMES = st.lists(
+    st.text(alphabet="abcdefghijk_", min_size=1, max_size=8).filter(
+        lambda s: s not in ("ts", "kernel", "cu", "site", "schema")),
+    min_size=1, max_size=4, unique=True)
+
+
+@st.composite
+def _schema_and_records(draw):
+    """One dynamic schema plus a batch of conforming records."""
+    fields = tuple(draw(_FIELD_NAMES))
+    schema = TraceSchema("prop.test", fields)
+    count = draw(st.integers(min_value=0, max_value=10))
+    records = [
+        TraceRecord("prop.test",
+                    ts=draw(_TS),
+                    kernel=draw(_LABEL),
+                    cu=draw(st.integers(min_value=0, max_value=7)),
+                    site=draw(_LABEL),
+                    values=tuple(draw(_INT64) for _ in fields))
+        for _ in range(count)]
+    return schema, records
+
+
+def _registry_for(schema):
+    registry = SchemaRegistry(builtins=False)
+    registry.register(schema)
+    return registry
+
+
+class TestStoreRoundTrip:
+    @given(_schema_and_records())
+    @settings(max_examples=60, deadline=None)
+    def test_memory_round_trip(self, bundle):
+        schema, records = bundle
+        store = ColumnarStore.from_records(records, _registry_for(schema))
+        assert store.records() == records
+        assert store.total_rows() == len(records)
+
+    @given(_schema_and_records())
+    @settings(max_examples=25, deadline=None)
+    def test_disk_round_trip(self, bundle):
+        schema, records = bundle
+        store = ColumnarStore.from_records(records, _registry_for(schema))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "prop.ctb")
+            store.save(path)
+            loaded = ColumnarStore.load(path)
+        assert loaded.records() == records
+
+    @given(_schema_and_records(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_append_equals_concat(self, bundle, data):
+        schema, records = bundle
+        registry = _registry_for(schema)
+        cut = data.draw(st.integers(min_value=0, max_value=len(records)))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "prop.ctb")
+            ColumnarStore.append_to(path, records[:cut], registry)
+            ColumnarStore.append_to(path, records[cut:], registry)
+            loaded = ColumnarStore.load(path)
+        assert loaded.records() == records
+
+
+class TestQueryConsistency:
+    @given(_schema_and_records(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_filters_match_python_semantics(self, bundle, data):
+        schema, records = bundle
+        store = ColumnarStore.from_records(records, _registry_for(schema))
+        since = data.draw(_TS)
+        until = data.draw(_TS)
+        got = TraceQuery(store).between(since, until).records()
+        expected = [r for r in records if since <= r.ts < until]
+        assert got == expected
+
+    @given(_schema_and_records(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_filter_matches(self, bundle, data):
+        schema, records = bundle
+        store = ColumnarStore.from_records(records, _registry_for(schema))
+        kernels = sorted({r.kernel for r in records}) or [""]
+        kernel = data.draw(st.sampled_from(kernels))
+        got = TraceQuery(store).kernel(kernel).records()
+        assert got == [r for r in records if r.kernel == kernel]
+
+    @given(_schema_and_records())
+    @settings(max_examples=60, deadline=None)
+    def test_aggregate_matches_python(self, bundle):
+        schema, records = bundle
+        store = ColumnarStore.from_records(records, _registry_for(schema))
+        field = schema.fields[0]
+        agg = TraceQuery(store).aggregate(field)
+        values = [r.values[0] for r in records]
+        assert agg.count == len(values)
+        if values:
+            assert (agg.minimum, agg.maximum, agg.total) == \
+                (min(values), max(values), sum(values))
+
+
+class TestExportRoundTrip:
+    @given(_schema_and_records())
+    @settings(max_examples=40, deadline=None)
+    def test_csv_entries_lossless(self, bundle):
+        schema, records = bundle
+        entries = [dict(zip(schema.fields, r.values)) for r in records]
+        document = entries_to_csv(entries, allow_empty=True,
+                                  fields=schema.fields)
+        assert csv_to_entries(document, allow_empty=True) == entries
+
+    @given(_schema_and_records())
+    @settings(max_examples=40, deadline=None)
+    def test_chrome_export_always_validates(self, bundle):
+        schema, records = bundle
+        store = ColumnarStore.from_records(records, _registry_for(schema))
+        events = chrome_trace_events(store)
+        assert validate_chrome_events(events) == []
+        json.loads(json.dumps(events))   # serializable as-is
+
+    @given(_schema_and_records())
+    @settings(max_examples=40, deadline=None)
+    def test_json_export_round_trips_rows(self, bundle):
+        from repro.trace.export import store_to_json
+        schema, records = bundle
+        store = ColumnarStore.from_records(records, _registry_for(schema))
+        rows = json.loads(store_to_json(store))
+        assert len(rows) == len(records)
+        for row, record in zip(rows, records):
+            assert row["ts"] == record.ts
+            assert row["kernel"] == record.kernel
+            assert tuple(row[name] for name in schema.fields) == record.values

@@ -1,0 +1,171 @@
+"""Tests for the columnar trace store and the ``.ctb`` on-disk format."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import TraceStoreError
+from repro.trace import (
+    ColumnarSink,
+    ColumnarStore,
+    SchemaRegistry,
+    Segment,
+    TraceHub,
+    TraceRecord,
+)
+from repro.trace.columnar import MAGIC
+
+
+def _registry():
+    return SchemaRegistry()
+
+
+def _records(n=5, schema="watch.event", kernel="wp"):
+    return [TraceRecord(schema, ts=10 * i, kernel=kernel, cu=i % 2,
+                        site=f"{kernel}[{i % 2}]", values=(i, i + 1, i % 3))
+            for i in range(n)]
+
+
+class TestSegment:
+    def test_round_trip_rows(self):
+        registry = _registry()
+        records = _records(4)
+        segment = Segment.from_records(registry.get("watch.event"), records)
+        assert segment.rows == 4
+        assert [segment.record(i) for i in range(4)] == records
+        row = segment.row(2)
+        assert row["schema"] == "watch.event" and row["address"] == 2
+
+    def test_min_max_ts(self):
+        registry = _registry()
+        segment = Segment.from_records(registry.get("watch.event"),
+                                       _records(3))
+        assert (segment.min_ts, segment.max_ts) == (0, 20)
+
+    def test_wrong_schema_record_rejected(self):
+        registry = _registry()
+        with pytest.raises(TraceStoreError):
+            Segment.from_records(
+                registry.get("run.span"),
+                [TraceRecord("watch.event", 0, "k", 0, "s", (1, 2, 3))])
+
+    def test_non_int64_value_rejected(self):
+        registry = _registry()
+        with pytest.raises(TraceStoreError):
+            Segment.from_records(
+                registry.get("run.span"),
+                [TraceRecord("run.span", 0, "k", 0, "s", (1 << 70, 0))])
+
+    def test_payload_round_trip(self):
+        registry = _registry()
+        segment = Segment.from_records(registry.get("watch.event"),
+                                       _records(6))
+        data = segment.payload_bytes()
+        clone = Segment.from_payload(segment.meta(0, len(data)), data)
+        assert [clone.record(i) for i in range(6)] == \
+            [segment.record(i) for i in range(6)]
+
+    def test_payload_length_validated(self):
+        registry = _registry()
+        segment = Segment.from_records(registry.get("watch.event"),
+                                       _records(2))
+        data = segment.payload_bytes()
+        with pytest.raises(TraceStoreError):
+            Segment.from_payload(segment.meta(0, len(data)), data[:-8])
+
+
+class TestColumnarStore:
+    def test_save_load_round_trip(self, tmp_path):
+        registry = _registry()
+        records = (_records(5) +
+                   [TraceRecord("run.span", 7, "k", 0, "", (0, 99))])
+        store = ColumnarStore.from_records(records, registry)
+        path = str(tmp_path / "t.ctb")
+        store.save(path)
+        loaded = ColumnarStore.load(path)
+        assert loaded.records() == store.records()
+        assert loaded.schemas() == ["run.span", "watch.event"]
+        assert loaded.fields_of("run.span") == ("start", "end")
+        assert len(loaded) == 6
+
+    def test_append_to_accumulates(self, tmp_path):
+        registry = _registry()
+        path = str(tmp_path / "t.ctb")
+        assert ColumnarStore.append_to(path, _records(3), registry) == 3
+        assert ColumnarStore.append_to(path, _records(2, kernel="w2"),
+                                       registry) == 2
+        loaded = ColumnarStore.load(path)
+        assert loaded.total_rows() == 5
+        assert len(loaded.segments) == 2
+        kernels = {r.kernel for r in loaded.records()}
+        assert kernels == {"wp", "w2"}
+
+    def test_load_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.ctb"
+        path.write_bytes(b"NOPE" + b"\x00" * 40)
+        with pytest.raises(TraceStoreError):
+            ColumnarStore.load(str(path))
+
+    def test_load_rejects_truncated_file(self, tmp_path):
+        registry = _registry()
+        path = tmp_path / "t.ctb"
+        ColumnarStore.from_records(_records(3), registry).save(str(path))
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(TraceStoreError):
+            ColumnarStore.load(str(path))
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "t.ctb"
+        footer = json.dumps({"version": 99, "segments": []}).encode()
+        path.write_bytes(MAGIC + footer + struct.pack("<Q", len(footer))
+                         + MAGIC)
+        with pytest.raises(TraceStoreError):
+            ColumnarStore.load(str(path))
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TraceStoreError):
+            ColumnarStore.load(str(tmp_path / "absent.ctb"))
+
+    def test_append_to_rejects_non_ctb(self, tmp_path):
+        registry = _registry()
+        path = tmp_path / "x.ctb"
+        path.write_bytes(b"not a trace bundle, definitely")
+        with pytest.raises(TraceStoreError):
+            ColumnarStore.append_to(str(path), _records(1), registry)
+
+    def test_string_dictionary_is_per_segment(self, tmp_path):
+        registry = _registry()
+        store = ColumnarStore.from_records(_records(4), registry)
+        segment = store.segments[0]
+        # 1 kernel + 2 sites, each interned once
+        assert len(segment.strings) == 3
+
+
+class TestColumnarSink:
+    def test_hub_to_disk_via_close(self, tmp_path):
+        path = str(tmp_path / "sink.ctb")
+        hub = TraceHub()
+        sink = hub.attach(ColumnarSink(path, hub.registry))
+        for record in _records(4):
+            hub.emit_record(record)
+        hub.close()
+        assert sink.rows_written == 4
+        assert ColumnarStore.load(path).total_rows() == 4
+
+    def test_flush_appends_incrementally(self, tmp_path):
+        path = str(tmp_path / "sink.ctb")
+        registry = _registry()
+        sink = ColumnarSink(path, registry)
+        for record in _records(2):
+            sink.on_record(registry.get(record.schema), record)
+        assert sink.flush() == 2
+        assert sink.flush() == 0    # nothing pending
+        for record in _records(3):
+            sink.on_record(registry.get(record.schema), record)
+        sink.close()
+        assert sink.rows_written == 5
+        assert ColumnarStore.load(path).total_rows() == 5

@@ -1,0 +1,118 @@
+"""Tests for the trace schema registry and the streaming hub."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceSchemaError
+from repro.trace import (
+    BUILTIN_SCHEMAS,
+    MemorySink,
+    SchemaRegistry,
+    TraceHub,
+    TraceRecord,
+    TraceSchema,
+)
+
+
+class TestTraceSchema:
+    def test_columns_include_standard(self):
+        schema = TraceSchema("x", ("a", "b"))
+        assert schema.columns == ("ts", "kernel", "cu", "site", "a", "b")
+
+    def test_reserved_field_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            TraceSchema("x", ("ts",))
+        with pytest.raises(TraceSchemaError):
+            TraceSchema("x", ("schema",))
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            TraceSchema("x", ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            TraceSchema("", ("a",))
+
+    def test_pack_strict(self):
+        schema = TraceSchema("x", ("a", "b"))
+        assert schema.pack({"a": 1, "b": 2}) == (1, 2)
+        with pytest.raises(TraceSchemaError):
+            schema.pack({"a": 1})
+        with pytest.raises(TraceSchemaError):
+            schema.pack({"a": 1, "b": 2, "c": 3})
+
+
+class TestSchemaRegistry:
+    def test_builtins_present(self):
+        registry = SchemaRegistry()
+        for schema in BUILTIN_SCHEMAS:
+            assert schema.name in registry
+        assert registry.get("latency.sample").fields == (
+            "start_cycle", "end_cycle", "latency", "start_value", "end_value")
+
+    def test_register_idempotent_and_conflicting(self):
+        registry = SchemaRegistry()
+        schema = TraceSchema("custom", ("a",))
+        assert registry.register(schema) is schema
+        registry.register(TraceSchema("custom", ("a",)))   # identical: ok
+        with pytest.raises(TraceSchemaError):
+            registry.register(TraceSchema("custom", ("b",)))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TraceSchemaError):
+            SchemaRegistry().get("nope")
+
+    def test_ensure(self):
+        registry = SchemaRegistry(builtins=False)
+        assert len(registry) == 0
+        registry.ensure("dyn", ("f",))
+        registry.ensure("dyn", ("f",))
+        assert registry.names() == ["dyn"]
+
+
+class TestTraceHub:
+    def test_emit_validates_and_records(self):
+        hub = TraceHub()
+        record = hub.emit("watch.event", 9, kernel="wp", cu=1, site="wp[1]",
+                          address=64, tag=3, kind=0)
+        assert record == TraceRecord("watch.event", 9, "wp", 1, "wp[1]",
+                                     (64, 3, 0))
+        assert hub.records == [record]
+        assert hub.count() == 1 and hub.count("watch.event") == 1
+
+    def test_emit_unknown_schema_raises(self):
+        with pytest.raises(TraceSchemaError):
+            TraceHub().emit("nope", 0)
+
+    def test_emit_wrong_fields_raises(self):
+        with pytest.raises(TraceSchemaError):
+            TraceHub().emit("watch.event", 0, address=1, tag=2)   # missing kind
+
+    def test_attached_sink_sees_records(self):
+        hub = TraceHub()
+        sink = hub.attach(MemorySink())
+        hub.emit("run.span", 0, kernel="k", start=0, end=10)
+        assert len(sink.records) == 1
+        hub.detach(sink)
+        hub.emit("run.span", 0, kernel="k", start=0, end=10)
+        assert len(sink.records) == 1 and len(hub.records) == 2
+
+    def test_keep_records_false(self):
+        hub = TraceHub(keep_records=False)
+        hub.emit("run.span", 0, kernel="k", start=0, end=1)
+        with pytest.raises(TraceSchemaError):
+            hub.records
+
+    def test_closed_hub_rejects_emit(self):
+        hub = TraceHub()
+        hub.close()
+        with pytest.raises(TraceSchemaError):
+            hub.emit("run.span", 0, kernel="k", start=0, end=1)
+
+    def test_emit_record_validates_arity(self):
+        hub = TraceHub()
+        with pytest.raises(TraceSchemaError):
+            hub.emit_record(TraceRecord("run.span", 0, "k", 0, "k", (1,)))
+        hub.emit_record(TraceRecord("run.span", 0, "k", 0, "k", (1, 2)))
+        assert hub.count("run.span") == 1

@@ -1,0 +1,164 @@
+"""Tests for TraceQuery and the legacy-analysis bridges.
+
+The bridge tests are the acceptance criterion for the query layer: a
+query over a stored trace must reproduce the legacy in-memory latency and
+order analyses bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceSchemaError
+from repro.trace import (
+    Aggregate,
+    ColumnarStore,
+    TraceHub,
+    TraceQuery,
+    latency_samples,
+    stored_order_records,
+)
+
+
+@pytest.fixture()
+def store():
+    """A small mixed-schema store built by hand."""
+    hub = TraceHub()
+    for i in range(6):
+        hub.emit("watch.event", 10 * i, kernel="wp", cu=i % 2,
+                 site=f"wp[{i % 2}]", address=64 + i, tag=i, kind=i % 3)
+    hub.emit("run.span", 0, kernel="matvec", start=0, end=500)
+    hub.emit("run.span", 0, kernel="matmul", start=0, end=900)
+    return ColumnarStore.from_records(hub.records, hub.registry)
+
+
+class TestTraceQuery:
+    def test_schema_filter(self, store):
+        assert TraceQuery(store).schema("watch.event").count() == 6
+        assert TraceQuery(store).schema("run.span").count() == 2
+        assert TraceQuery(store).schema("nope").count() == 0
+
+    def test_between_half_open(self, store):
+        query = TraceQuery(store).schema("watch.event").between(10, 40)
+        assert [r["ts"] for r in query.rows()] == [10, 20, 30]
+
+    def test_between_open_ends(self, store):
+        assert TraceQuery(store).schema("watch.event") \
+            .between(since=40).count() == 2
+        assert TraceQuery(store).schema("watch.event") \
+            .between(until=20).count() == 2
+
+    def test_kernel_cu_site_filters(self, store):
+        assert TraceQuery(store).kernel("matmul").count() == 1
+        assert TraceQuery(store).schema("watch.event").cu(1).count() == 3
+        assert TraceQuery(store).site("wp[0]").count() == 3
+
+    def test_where_payload_equality(self, store):
+        assert TraceQuery(store).where(kind=0).count() == 2
+        # Field absent from a schema: that segment simply cannot match.
+        assert TraceQuery(store).where(end=900).count() == 1
+
+    def test_limit(self, store):
+        assert len(TraceQuery(store).schema("watch.event").limit(2).rows()) == 2
+
+    def test_select_projection(self, store):
+        pairs = TraceQuery(store).schema("watch.event").limit(2) \
+            .select("ts", "address")
+        assert pairs == [(0, 64), (10, 65)]
+
+    def test_select_unknown_column_raises(self, store):
+        with pytest.raises(TraceSchemaError):
+            TraceQuery(store).schema("watch.event").select("nope")
+
+    def test_records_match_rows(self, store):
+        records = TraceQuery(store).schema("run.span").records()
+        assert [r.kernel for r in records] == ["matvec", "matmul"]
+        assert records[1].values == (0, 900)
+
+    def test_aggregate_scalar(self, store):
+        agg = TraceQuery(store).schema("watch.event").aggregate("tag")
+        assert agg == Aggregate(count=6, minimum=0, maximum=5, total=15)
+        assert agg.mean == 2.5
+
+    def test_aggregate_grouped(self, store):
+        by_cu = TraceQuery(store).schema("watch.event") \
+            .aggregate("address", by="cu")
+        assert set(by_cu) == {0, 1}
+        assert by_cu[0].count == 3 and by_cu[1].count == 3
+
+    def test_aggregate_empty(self, store):
+        agg = TraceQuery(store).schema("watch.event").kernel("nope") \
+            .aggregate("tag")
+        assert agg.count == 0 and agg.mean == 0.0
+
+    def test_aggregate_unknown_field_raises(self, store):
+        with pytest.raises(TraceSchemaError):
+            TraceQuery(store).schema("watch.event").aggregate("nope")
+        with pytest.raises(TraceSchemaError):
+            TraceQuery(store).schema("watch.event").aggregate("tag", by="no")
+
+    def test_time_pruning_skips_segments(self, store):
+        # All watch.event timestamps are < 100; a window past them must
+        # prune the segment without scanning it.
+        query = TraceQuery(store).between(since=1000)
+        matched = [s for s in store.segments if query._segment_matches(s)]
+        assert matched == []
+
+
+class TestLegacyBridges:
+    """Stored-trace analyses must equal the live in-memory results."""
+
+    @pytest.fixture(scope="class")
+    def sec51_traced(self):
+        from repro.experiments import sec51
+        hub = TraceHub()
+        result = sec51.run(rows_a=4, col_a=4, col_b=4, trace=hub)
+        store = ColumnarStore.from_records(hub.records, hub.registry)
+        return result, store
+
+    @pytest.fixture(scope="class")
+    def fig2_traced(self):
+        from repro.experiments import fig2
+        hub = TraceHub()
+        result = fig2.run(n=4, num=6, probe_i=3, trace=hub)
+        store = ColumnarStore.from_records(hub.records, hub.registry)
+        return result, store
+
+    def test_latency_samples_bit_for_bit(self, sec51_traced):
+        result, store = sec51_traced
+        assert latency_samples(store) == result.samples
+
+    def test_latency_summary_matches(self, sec51_traced):
+        from repro.analysis.latency import summarize
+        result, store = sec51_traced
+        assert summarize(latency_samples(store)) == result.stats
+
+    def test_latency_csv_matches(self, sec51_traced):
+        from repro.analysis.export import latency_samples_to_csv
+        result, store = sec51_traced
+        assert latency_samples_to_csv(latency_samples(store)) == \
+            latency_samples_to_csv(result.samples)
+
+    def test_order_records_bit_for_bit(self, fig2_traced):
+        result, store = fig2_traced
+        assert stored_order_records(store, kernel="single-task") == \
+            result.single_task.records
+        assert stored_order_records(store, kernel="ndrange") == \
+            result.ndrange.records
+
+    def test_order_classification_matches(self, fig2_traced):
+        from repro.analysis.order import classify_order
+        result, store = fig2_traced
+        for label, expected in [("single-task", result.single_task),
+                                ("ndrange", result.ndrange)]:
+            assert classify_order(stored_order_records(store, kernel=label)) \
+                == expected.classification
+
+    def test_run_spans_recorded(self, fig2_traced):
+        result, store = fig2_traced
+        spans = {r["kernel"]: r["end"] for r in
+                 TraceQuery(store).schema("run.span").rows()}
+        assert spans == {
+            "single-task": result.single_task.total_cycles,
+            "ndrange": result.ndrange.total_cycles,
+        }

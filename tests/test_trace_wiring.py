@@ -1,0 +1,147 @@
+"""Tests that every instrumentation producer publishes into the hub.
+
+One test per source named in the tracing issue: ibuffer drains (via the
+host controller), stall-monitor latencies (typed), watchpoint events,
+vendor-profiler counters, host-queue command lifecycles, and emulator
+run summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.fabric import Fabric
+from repro.pipeline.kernel import SingleTaskKernel
+from repro.trace import TraceHub, TraceQuery, ColumnarStore
+
+
+def _hubbed_fabric():
+    hub = TraceHub()
+    return Fabric(trace=hub), hub
+
+
+class TestFabricWiring:
+    def test_fabric_default_has_no_trace(self):
+        assert Fabric().trace is None
+
+    def test_enable_tracing_installs_hub(self):
+        fabric = Fabric()
+        hub = fabric.enable_tracing()
+        assert fabric.trace is hub
+        assert isinstance(hub, TraceHub)
+
+    def test_enable_tracing_accepts_existing_hub(self):
+        fabric = Fabric()
+        hub = TraceHub()
+        assert fabric.enable_tracing(hub) is hub
+        assert fabric.trace is hub
+
+
+class TestProducers:
+    def test_stall_monitor_publishes_latency_samples(self):
+        from repro.core.stall_monitor import StallMonitor
+        from repro.kernels.matmul import MatMulKernel, allocate_matmul_buffers
+
+        fabric, hub = _hubbed_fabric()
+        monitor = StallMonitor(fabric, sites=2, depth=256)
+        allocate_matmul_buffers(fabric, 3, 4, 3)
+        fabric.run_kernel(MatMulKernel(stall_monitor=monitor),
+                          {"rows_a": 3, "col_a": 4, "col_b": 3})
+        samples = monitor.latencies(0, 1)
+        typed = [r for r in hub.records if r.schema == "latency.sample"]
+        assert len(typed) == len(samples) > 0
+        assert typed[0].values[2] == samples[0].latency
+
+    def test_host_controller_publishes_raw_drains(self):
+        from repro.core.stall_monitor import StallMonitor
+        from repro.kernels.matmul import MatMulKernel, allocate_matmul_buffers
+
+        fabric, hub = _hubbed_fabric()
+        monitor = StallMonitor(fabric, sites=2, depth=256)
+        allocate_matmul_buffers(fabric, 3, 4, 3)
+        fabric.run_kernel(MatMulKernel(stall_monitor=monitor),
+                          {"rows_a": 3, "col_a": 4, "col_b": 3})
+        monitor.latencies(0, 1)
+        raw = [r for r in hub.records if r.schema.startswith("ibuffer.")]
+        assert raw, "HostController.read_trace must publish raw drains"
+
+    def test_watchpoint_publishes_typed_events(self):
+        from repro.core.watchpoint import SmartWatchpoint
+
+        fabric, hub = _hubbed_fabric()
+        watchpoint = SmartWatchpoint(fabric, units=1, depth=32)
+        fabric.memory.allocate("data", 4)
+        values = [5, 6, 7]
+
+        class Writer(SingleTaskKernel):
+            """Writes monitored values to data[0]."""
+
+            def iteration_space(self, args):
+                return range(len(values))
+
+            def body(self, ctx):
+                data = ctx._instance.fabric.memory.buffer("data")
+                if ctx.iteration == 0:
+                    watchpoint.add_watch(ctx, 0, data.address_of(0))
+                yield ctx.store("data", 0, values[ctx.iteration])
+                watchpoint.monitor_address(ctx, 0, data.address_of(0),
+                                           values[ctx.iteration])
+
+        fabric.run_kernel(Writer(name="writer"), {})
+        watchpoint.read_unit(0)
+        events = [r for r in hub.records if r.schema == "watch.event"]
+        assert [r.values[1] for r in events] == values   # tags
+
+    def test_vendor_profiler_publishes_counters(self):
+        from repro.core.vendor_profiler import VendorProfiler
+        from repro.kernels.matmul import MatMulKernel, allocate_matmul_buffers
+
+        fabric, hub = _hubbed_fabric()
+        profiler = VendorProfiler(fabric)
+        allocate_matmul_buffers(fabric, 3, 4, 3)
+        engine = fabric.run_kernel(MatMulKernel(),
+                                   {"rows_a": 3, "col_a": 4, "col_b": 3})
+        report = profiler.report(engine)
+        counters = [r for r in hub.records if r.schema == "counter.lsu"]
+        assert {r.site for r in counters} == {c.site for c in report.lsus}
+
+    def test_host_queue_publishes_command_lifecycles(self):
+        from repro.host import CommandQueue, Context
+        from repro.kernels.vecadd import VecAddKernel
+
+        context = Context()
+        hub = context.fabric.enable_tracing()
+        n = 8
+        context.create_buffer("a", n).write(np.arange(n))
+        context.create_buffer("b", n).write(np.arange(n))
+        context.create_buffer("c", n)
+        queue = CommandQueue(context)
+        queue.enqueue_kernel(VecAddKernel(), {"n": n})
+        queue.finish()
+        commands = [r for r in hub.records if r.schema == "host.command"]
+        assert len(commands) == 1
+        queued, start, end = commands[0].values
+        assert queued <= start <= end
+
+    def test_emulator_publishes_run_summary(self):
+        from repro.host.emulation import Emulator
+        from repro.kernels.vecadd import VecAddKernel
+
+        fabric, hub = _hubbed_fabric()
+        n = 8
+        fabric.memory.allocate("a", n).fill(np.arange(n))
+        fabric.memory.allocate("b", n).fill(np.arange(n))
+        fabric.memory.allocate("c", n)
+        Emulator(fabric).run_kernel(VecAddKernel(), {"n": n})
+        runs = [r for r in hub.records if r.schema == "emu.kernel"]
+        assert len(runs) == 1
+        assert runs[0].kernel == "vecadd"
+
+    def test_hub_records_store_cleanly(self):
+        from repro.experiments import sec52
+
+        hub = TraceHub()
+        sec52.run(trace=hub)
+        store = ColumnarStore.from_records(hub.records, hub.registry)
+        assert store.total_rows() == len(hub.records) > 0
+        assert TraceQuery(store).schema("run.span").count() == 1
