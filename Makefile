@@ -1,6 +1,6 @@
 # Convenience targets for the DAC'17 reproduction.
 
-.PHONY: install test bench bench-perf experiments examples trace-demo all
+.PHONY: install test bench bench-perf sweep-demo experiments examples trace-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,14 @@ bench:
 # against benchmarks/perf/baseline.json (see docs/PERFORMANCE.md).
 bench-perf:
 	python -m repro bench
+
+# Shard the §4 scalability grid across worker processes and verify the
+# merged report is byte-identical to a serial run (docs/PERFORMANCE.md,
+# "Parallel sweeps").
+sweep-demo:
+	python -m repro sweep scalability --simulate > sweep_par.txt
+	python -m repro sweep scalability --simulate --serial > sweep_ser.txt
+	diff sweep_par.txt sweep_ser.txt && echo "parallel == serial"
 
 experiments:
 	python -m repro all

@@ -192,10 +192,28 @@ class Channel:
 
         Depth-0 blocking writes rendezvous with a reader (Listing 5's
         sequencing counter relies on this to advance once per read).
+
+        Fast path: when the write can complete *this cycle* — FIFO space
+        available, or a parked reader to rendezvous with — the value is
+        handed over synchronously and the producer continues without a
+        schedule/wake-up round trip through the event queue (a parked
+        reader is still woken through its own pending event, preserving
+        wake-up order). Only a genuinely full channel parks the producer
+        on a :class:`~repro.sim.resources.StorePut` event. Timing is
+        unchanged — completion was same-cycle either way — and FIFO
+        value order is pinned by the channel property tests.
         """
         start = self.sim.now
-        if self._fifo is not None:
-            yield self._fifo.put(value)
+        fifo = self._fifo
+        if fifo is not None:
+            # Invariant (capacity > 0): readers park only on an empty FIFO,
+            # writers only on a full one — so at most one side ever waits.
+            if fifo._getters and not fifo.items:
+                fifo._getters.popleft().succeed(value)
+            elif len(fifo.items) < fifo.capacity and not fifo._putters:
+                fifo.items.append(value)
+            else:
+                yield fifo.put(value)
         else:
             if self._pending_readers:
                 reader = self._pending_readers.pop(0)
@@ -204,16 +222,35 @@ class Channel:
                 event = Event(self.sim)
                 self._pending_writers.append((event, value))
                 yield event
-        self.stats.writes += 1
-        self.stats.write_stall_cycles += self.sim.now - start
-        self._note_occupancy()
+        stats = self.stats
+        stats.writes += 1
+        stats.write_stall_cycles += self.sim.now - start
+        occ = len(fifo.items) if fifo is not None else (
+            0 if self._register is Channel._UNSET else 1)
+        if occ > stats.max_occupancy:
+            stats.max_occupancy = occ
 
     def read(self) -> Generator:
-        """Blocking read; yields the value when available."""
+        """Blocking read; yields the value when available.
+
+        Fast path (mirror of :meth:`write`): a buffered value — or a
+        parked rendezvous writer's value — is taken synchronously, so
+        the consumer continues without an event-queue round trip; only
+        an empty channel parks the reader.
+        """
         start = self.sim.now
-        if self._fifo is not None:
-            get = self._fifo.get()
-            value = yield get
+        fifo = self._fifo
+        if fifo is not None:
+            if fifo.items:
+                value = fifo.items.popleft()
+                if fifo._putters:
+                    # Promote one parked writer into the freed slot (woken
+                    # through its pending StorePut, as the slow path would).
+                    putter = fifo._putters.popleft()
+                    fifo.items.append(putter.item)
+                    putter.succeed()
+            else:
+                value = yield fifo.get()
         else:
             if self._pending_writers:
                 event, value = self._pending_writers.pop(0)
@@ -224,8 +261,9 @@ class Channel:
                 event = Event(self.sim)
                 self._pending_readers.append(event)
                 value = yield event
-        self.stats.reads += 1
-        self.stats.read_stall_cycles += self.sim.now - start
+        stats = self.stats
+        stats.reads += 1
+        stats.read_stall_cycles += self.sim.now - start
         return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

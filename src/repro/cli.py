@@ -6,9 +6,15 @@
     repro-fpga run sec51 --trace-out x.ctb  # ... capturing a columnar trace
     repro-fpga run all                      # everything, in paper order
     repro-fpga bench                        # simulator perf suite
+    repro-fpga sweep scalability --workers 4   # §4 grid, sharded
+    repro-fpga sweep sec51 --repeats 5 --serial --trace-out s.ctb
     repro-fpga trace info x.ctb             # segments/schemas of a bundle
     repro-fpga trace query x.ctb --schema latency.sample --agg latency --by site
     repro-fpga trace export x.ctb --format chrome -o x.json   # Perfetto
+
+``sweep`` prints only the deterministic merged report on stdout (timing
+and worker telemetry go to stderr), so a ``--workers N`` run can be
+diffed byte-for-byte against a ``--serial`` run — CI does exactly that.
 
 The pre-subcommand form (``repro-fpga fig2``) keeps working through a
 back-compat shim that maps it onto ``run``.
@@ -76,6 +82,49 @@ def _add_bench_parser(sub) -> None:
                        help="write the report without gating on the baseline")
     bench.add_argument("--update-baseline", action="store_true",
                        help="overwrite the baseline with this run's results")
+    bench.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="shard benchmark repeats across N worker "
+                            "processes (smoke runs; serial numbers gate)")
+
+
+def _add_sweep_parser(sub) -> None:
+    sweep = sub.add_parser(
+        "sweep", help="run an experiment grid, sharded across processes",
+        description="Shard an experiment sweep (the §4 scalability grid, "
+                    "Table 1 configurations, or repeated dynamic "
+                    "experiments) across worker processes. Merged results "
+                    "are deterministic: stdout is byte-identical between "
+                    "--workers N and --serial runs.")
+    sweep.add_argument("family",
+                       choices=("scalability", "table1", "fig2", "sec51",
+                                "sec52", "all"),
+                       help="which sweep to run ('all' = every family)")
+    mode = sweep.add_mutually_exclusive_group()
+    mode.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="worker process count (default: one per CPU)")
+    mode.add_argument("--serial", action="store_true",
+                      help="run every point in-process (the reference "
+                           "semantics; use when debugging a point or on "
+                           "single-core hosts)")
+    sweep.add_argument("--repeats", type=int, default=3, metavar="R",
+                       help="repeat count for fig2/sec51/sec52 sweeps "
+                            "(default 3)")
+    sweep.add_argument("--depth", type=int, default=None,
+                       help="table1: trace buffer DEPTH override")
+    sweep.add_argument("--simulate", action="store_true",
+                       help="scalability: also run the instrumented matmul "
+                            "simulation at every grid point")
+    sweep.add_argument("--counts", action="append", type=int, default=None,
+                       metavar="N",
+                       help="scalability: instance count(s) to sweep "
+                            "(repeatable; default: the paper's grid)")
+    sweep.add_argument("--depths", action="append", type=int, default=None,
+                       metavar="D",
+                       help="scalability: trace DEPTH(s) to sweep "
+                            "(repeatable; default: the paper's grid)")
+    sweep.add_argument("--trace-out", metavar="FILE.ctb", default=None,
+                       help="merge every point's trace records into one "
+                            "columnar bundle (appends when the file exists)")
 
 
 def _add_trace_parser(sub) -> None:
@@ -132,9 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version",
                         version=f"repro-fpga {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True,
-                                metavar="{run,bench,trace}")
+                                metavar="{run,bench,sweep,trace}")
     _add_run_parser(sub)
     _add_bench_parser(sub)
+    _add_sweep_parser(sub)
     _add_trace_parser(sub)
     return parser
 
@@ -146,7 +196,8 @@ def _run_bench(args) -> int:
 
     print("repro-fpga perf suite")
     try:
-        report = harness.run_suite(names=args.bench_only)
+        report = harness.run_suite(names=args.bench_only,
+                                   workers=args.workers)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -197,6 +248,38 @@ def _run_experiments(args) -> int:
               f"({sink.rows_written} records, "
               f"{len(hub.counts)} schemas)")
     return 0
+
+
+def _run_sweep_cmd(args) -> int:
+    from repro.sweep import SweepError, WorkerPool, families, run_sweep
+
+    names = (families.FAMILY_NAMES if args.family == "all"
+             else (args.family,))
+    serial = args.serial
+    pool = None if serial else WorkerPool(args.workers)
+    status = 0
+    try:
+        for name in names:
+            try:
+                spec = families.build_spec(
+                    name, repeats=args.repeats, depth=args.depth,
+                    simulate=args.simulate, counts=args.counts,
+                    depths=args.depths)
+                outcome = run_sweep(
+                    spec, serial=serial, pool=pool,
+                    trace_path=args.trace_out,
+                    log=lambda message: print(message, file=sys.stderr))
+                print(families.render_outcome(outcome))
+                print()
+            except SweepError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                status = 1
+    finally:
+        if pool is not None:
+            pool.close()
+    if args.trace_out and status == 0:
+        print(f"trace bundle: {args.trace_out}", file=sys.stderr)
+    return status
 
 
 def _run_trace_tool(args) -> int:
@@ -309,6 +392,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(_shim_legacy_argv(argv))
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "sweep":
+        return _run_sweep_cmd(args)
     if args.command == "trace":
         return _run_trace_tool(args)
     return _run_experiments(args)

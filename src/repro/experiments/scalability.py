@@ -10,12 +10,21 @@ the cost surface: memory bits grow linearly in DEPTH x N, RAM blocks
 follow the M20K packing, logic grows only with N (the state machine
 replicates; the storage does not add logic), and fmax is essentially flat
 in DEPTH (block RAM, not logic) while replication's fanout costs a little.
+
+Every ``(N, DEPTH)`` grid point is independent, so the grid is executed
+through :mod:`repro.sweep` — pass ``workers=`` to shard points across
+processes (``repro-fpga sweep scalability --workers N`` from the CLI);
+results are merged in canonical grid order and are bit-identical to a
+serial run. ``simulate=True`` additionally runs the instrumented matmul
+*simulation* at each point, turning the static cost surface into a
+dynamic one (cycles, observed samples) — and giving each point enough
+weight for process-level parallelism to pay off.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from repro.core.stall_monitor import StallMonitor
 from repro.host.context import Context
@@ -27,12 +36,19 @@ from repro.synthesis.report import SynthesisReport
 DEPTHS = (256, 1024, 4096)
 COUNTS = (1, 2, 4, 8)
 
+#: Matmul extents (rows_a, col_a, col_b) for the optional dynamic run.
+DEFAULT_SIM_SHAPE = (6, 8, 6)
+
 
 @dataclass
 class ScalabilityResult:
-    """Synthesis results over the (N, DEPTH) grid."""
+    """Synthesis results over the (N, DEPTH) grid (plus optional dynamics)."""
 
     grid: Dict[Tuple[int, int], SynthesisReport]
+    #: Per-point dynamic stats when run with ``simulate=True`` (else empty):
+    #: ``(count, depth) -> {"total_cycles", "iterations", "latency_samples"}``.
+    dynamics: Dict[Tuple[int, int], Dict[str, int]] = field(
+        default_factory=dict)
 
     def row(self, count: int, depth: int) -> Dict[str, float]:
         report = self.grid[(count, depth)]
@@ -46,6 +62,9 @@ class ScalabilityResult:
     def render(self) -> str:
         header = (f"{'N':>3s} {'DEPTH':>6s} {'fmax':>7s} {'ALMs':>8s} "
                   f"{'MemBits':>10s} {'Blocks':>7s}")
+        dynamic = bool(self.dynamics)
+        if dynamic:
+            header += f" {'Cycles':>8s} {'Samples':>8s}"
         lines = ["=== Section 4 scalability: ibuffer cost surface ===",
                  header, "-" * len(header)]
         for count in COUNTS:
@@ -53,9 +72,14 @@ class ScalabilityResult:
                 if (count, depth) not in self.grid:
                     continue
                 row = self.row(count, depth)
-                lines.append(f"{count:3d} {depth:6d} {row['fmax_mhz']:7.1f} "
-                             f"{row['logic_alms']:8d} {row['memory_bits']:10d} "
-                             f"{row['ram_blocks']:7d}")
+                line = (f"{count:3d} {depth:6d} {row['fmax_mhz']:7.1f} "
+                        f"{row['logic_alms']:8d} {row['memory_bits']:10d} "
+                        f"{row['ram_blocks']:7d}")
+                stats = self.dynamics.get((count, depth))
+                if dynamic and stats is not None:
+                    line += (f" {stats['total_cycles']:8d} "
+                             f"{stats['latency_samples']:8d}")
+                lines.append(line)
         return "\n".join(lines)
 
     def bits_linear_in_depth(self, count: int) -> bool:
@@ -76,15 +100,88 @@ class ScalabilityResult:
         return 100.0 * (max(rows) - min(rows)) / min(rows) < tolerance_pct
 
 
-def run(counts=COUNTS, depths=DEPTHS) -> ScalabilityResult:
-    """Synthesize the instrumented matmul across the (N, DEPTH) grid."""
+def synthesize_point(count: int, depth: int, simulate: bool = False,
+                     sim_shape: Tuple[int, int, int] = DEFAULT_SIM_SHAPE,
+                     trace=None) -> Dict[str, object]:
+    """One independent (N, DEPTH) grid point — the sweep worker function.
+
+    Returns a picklable ``{"report": SynthesisReport, "dynamic": ...}``
+    payload; ``dynamic`` is ``None`` unless ``simulate`` is set, in which
+    case the instrumented matmul runs at this configuration and its
+    cycle/sample counts are reported (``trace`` optionally captures the
+    run's records, e.g. when sharded under ``repro-fpga sweep
+    --trace-out``).
+    """
+    context = Context()
+    monitor = StallMonitor(context.fabric, sites=count, depth=depth)
+    kernel = MatMulKernel(stall_monitor=monitor)
+    program = Program(context, [kernel] + monitor.kernels(),
+                      name=f"sm_n{count}_d{depth}")
+    report = program.synthesis_report()
+    dynamic: Optional[Dict[str, int]] = None
+    if simulate:
+        dynamic = _simulate_point(count, depth, sim_shape, trace)
+    return {"report": report, "dynamic": dynamic}
+
+
+def _simulate_point(count: int, depth: int,
+                    sim_shape: Tuple[int, int, int],
+                    trace) -> Dict[str, int]:
+    """Run the instrumented matmul at this grid configuration.
+
+    The matmul probes snapshot sites 0 and 1, so the monitor needs at
+    least two sites even at the grid's N=1 point; the synthesis report
+    above keeps the true N.
+    """
+    from repro.kernels.matmul import allocate_matmul_buffers
+    from repro.pipeline.fabric import Fabric
+
+    rows_a, col_a, col_b = sim_shape
+    fabric = Fabric(trace=trace)
+    monitor = StallMonitor(fabric, sites=max(2, count), depth=depth)
+    kernel = MatMulKernel(stall_monitor=monitor)
+    allocate_matmul_buffers(fabric, rows_a, col_a, col_b)
+    engine = fabric.run_kernel(
+        kernel, {"rows_a": rows_a, "col_a": col_a, "col_b": col_b})
+    samples = monitor.latencies(0, 1)
+    if trace is not None:
+        from repro.trace.capture import publish_run_span
+        publish_run_span(trace, kernel.name, 0, engine.stats.total_cycles)
+    return {
+        "total_cycles": engine.stats.total_cycles,
+        "iterations": engine.stats.iterations_retired,
+        "latency_samples": len(samples),
+    }
+
+
+def run(counts=COUNTS, depths=DEPTHS, workers: Optional[int] = None,
+        simulate: bool = False,
+        sim_shape: Tuple[int, int, int] = DEFAULT_SIM_SHAPE,
+        pool=None) -> ScalabilityResult:
+    """Synthesize the instrumented matmul across the (N, DEPTH) grid.
+
+    With ``workers`` (or a :class:`repro.sweep.runner.WorkerPool` via
+    ``pool``), grid points are sharded across processes; the merged
+    result is bit-identical to the default serial execution.
+    """
+    from repro.sweep import families, runner
+
+    spec = families.scalability_spec(counts=counts, depths=depths,
+                                     simulate=simulate, sim_shape=sim_shape)
+    outcome = runner.run_sweep(spec, workers=workers,
+                               serial=workers is None and pool is None,
+                               pool=pool)
+    return merge_outcome(outcome)
+
+
+def merge_outcome(outcome) -> ScalabilityResult:
+    """Assemble a :class:`ScalabilityResult` from a sweep outcome."""
+    outcome.raise_if_failed()
     grid: Dict[Tuple[int, int], SynthesisReport] = {}
-    for count in counts:
-        for depth in depths:
-            context = Context()
-            monitor = StallMonitor(context.fabric, sites=count, depth=depth)
-            kernel = MatMulKernel(stall_monitor=monitor)
-            program = Program(context, [kernel] + monitor.kernels(),
-                              name=f"sm_n{count}_d{depth}")
-            grid[(count, depth)] = program.synthesis_report()
-    return ScalabilityResult(grid=grid)
+    dynamics: Dict[Tuple[int, int], Dict[str, int]] = {}
+    for key, value in outcome.value_map().items():
+        count, depth = key
+        grid[(count, depth)] = value["report"]
+        if value["dynamic"] is not None:
+            dynamics[(count, depth)] = value["dynamic"]
+    return ScalabilityResult(grid=grid, dynamics=dynamics)

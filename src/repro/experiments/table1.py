@@ -84,8 +84,22 @@ class Table1Result:
         return "\n".join(lines)
 
 
-def _build(name: str, with_sm: bool, with_wp: bool,
-           depth: int) -> SynthesisReport:
+#: Per-row build configuration: row name -> (design name, SM?, WP?).
+ROW_CONFIGS = {
+    "base": ("matmul_base", False, False),
+    "sm": ("matmul_sm", True, False),
+    "wp": ("matmul_wp", False, True),
+    "sm+wp": ("matmul_sm_wp", True, True),
+}
+
+
+def build_row(name: str, with_sm: bool, with_wp: bool,
+              depth: int) -> SynthesisReport:
+    """Synthesize one Table 1 design — the sweep worker function.
+
+    Each of the four configurations is independent, so
+    :func:`run` can shard them across worker processes.
+    """
     context = Context()
     stall_monitor = (StallMonitor(context.fabric, sites=2, depth=depth)
                      if with_sm else None)
@@ -102,11 +116,28 @@ def _build(name: str, with_sm: bool, with_wp: bool,
     return program.synthesis_report()
 
 
-def run(depth: int = TABLE1_DEPTH) -> Table1Result:
-    """Synthesize all four Table 1 designs."""
+#: Back-compat alias (pre-sweep internal name).
+_build = build_row
+
+
+def run(depth: int = TABLE1_DEPTH, workers=None, pool=None) -> Table1Result:
+    """Synthesize all four Table 1 designs.
+
+    With ``workers`` (or a shared ``pool``) the four configurations run
+    in parallel worker processes; the merged result is bit-identical to
+    the default serial execution.
+    """
+    from repro.sweep import families, runner
+
+    spec = families.table1_spec(depth=depth)
+    outcome = runner.run_sweep(spec, workers=workers,
+                               serial=workers is None and pool is None,
+                               pool=pool)
+    return merge_outcome(outcome)
+
+
+def merge_outcome(outcome) -> Table1Result:
+    """Assemble a :class:`Table1Result` from a sweep outcome."""
+    outcome.raise_if_failed()
     return Table1Result(reports={
-        "base": _build("matmul_base", False, False, depth),
-        "sm": _build("matmul_sm", True, False, depth),
-        "wp": _build("matmul_wp", False, True, depth),
-        "sm+wp": _build("matmul_sm_wp", True, True, depth),
-    })
+        key[0]: report for key, report in outcome.value_map().items()})

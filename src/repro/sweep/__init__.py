@@ -1,0 +1,50 @@
+"""Process-pool sweep/batch execution for independent simulation points.
+
+The paper's workloads are grids of *independent* runs — the §4
+``(N, DEPTH)`` scalability surface, Table 1's four designs, repeated
+dynamic experiments, perf-bench repeats. This package shards such grids
+across ``multiprocessing`` workers with a determinism contract: merged
+results (and merged ``.ctb`` trace bundles) are **bit-identical** to a
+serial run, because points are pure functions of their kwargs and
+merging happens in canonical spec order, never completion order.
+
+Quick use::
+
+    from repro.sweep import run_sweep, families
+
+    spec = families.scalability_spec(simulate=True)
+    outcome = run_sweep(spec, workers=4)      # or serial=True
+    outcome.raise_if_failed()
+    print(families.render_outcome(outcome))
+
+See ``docs/PERFORMANCE.md`` ("Parallel sweeps") for the worker model and
+when to prefer ``--serial``.
+"""
+
+from repro.sweep.spec import (
+    PointResult,
+    SweepError,
+    SweepOutcome,
+    SweepPoint,
+    SweepSpec,
+    resolve_callable,
+)
+from repro.sweep.runner import (
+    WorkerPool,
+    default_chunk_size,
+    default_workers,
+    run_sweep,
+)
+
+__all__ = [
+    "PointResult",
+    "SweepError",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepSpec",
+    "WorkerPool",
+    "default_chunk_size",
+    "default_workers",
+    "resolve_callable",
+    "run_sweep",
+]

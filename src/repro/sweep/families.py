@@ -1,0 +1,163 @@
+"""Predefined sweep families for the paper's experiment grids.
+
+A *family* names a grid the repo already sweeps serially and packages it
+as a :class:`~repro.sweep.spec.SweepSpec`:
+
+* ``scalability`` — the §4 ``(N, DEPTH)`` ibuffer cost grid (optionally
+  with the instrumented matmul *simulated* at every point);
+* ``table1``     — the four Table 1 design configurations;
+* ``fig2`` / ``sec51`` / ``sec52`` — repeated runs of the dynamic
+  experiments (each repeat is one point; the merge additionally checks
+  that every repeat rendered identically, a free determinism audit).
+
+Experiment modules import lazily inside the point functions, so a
+worker only loads what its points touch. Renderers are deterministic —
+no timings, worker ids, or host state — so ``repro-fpga sweep``'s
+stdout can be diffed between ``--workers N`` and ``--serial`` runs
+(CI does exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sweep.spec import SweepError, SweepOutcome, SweepPoint, SweepSpec
+
+#: Families whose points publish trace records when captured.
+TRACEABLE_FAMILIES = ("scalability", "fig2", "sec51", "sec52")
+
+#: Default repeat count for the dynamic-experiment families.
+DEFAULT_REPEATS = 3
+
+FAMILY_NAMES = ("scalability", "table1", "fig2", "sec51", "sec52")
+
+
+# -- spec builders -----------------------------------------------------------
+
+def scalability_spec(counts: Optional[Sequence[int]] = None,
+                     depths: Optional[Sequence[int]] = None,
+                     simulate: bool = False,
+                     sim_shape: Optional[Tuple[int, int, int]] = None
+                     ) -> SweepSpec:
+    """The §4 grid: one point per (instance count, DEPTH) pair."""
+    from repro.experiments.scalability import (
+        COUNTS, DEFAULT_SIM_SHAPE, DEPTHS)
+
+    counts = tuple(counts) if counts else COUNTS
+    depths = tuple(depths) if depths else DEPTHS
+    sim_shape = tuple(sim_shape) if sim_shape else DEFAULT_SIM_SHAPE
+    points = [
+        SweepPoint(
+            key=(count, depth),
+            func="repro.experiments.scalability:synthesize_point",
+            kwargs={"count": count, "depth": depth, "simulate": simulate,
+                    "sim_shape": sim_shape},
+            label=f"n{count}_d{depth}")
+        for count in counts for depth in depths]
+    return SweepSpec(name="scalability", points=points,
+                     trace_kwarg="trace" if simulate else None)
+
+
+def table1_spec(depth: Optional[int] = None) -> SweepSpec:
+    """Table 1: one point per design configuration (base/sm/wp/sm+wp)."""
+    from repro.experiments.table1 import ROW_CONFIGS, ROW_ORDER, TABLE1_DEPTH
+
+    depth = TABLE1_DEPTH if depth is None else depth
+    points = []
+    for row in ROW_ORDER:
+        design, with_sm, with_wp = ROW_CONFIGS[row]
+        points.append(SweepPoint(
+            key=(row,),
+            func="repro.experiments.table1:build_row",
+            kwargs={"name": design, "with_sm": with_sm, "with_wp": with_wp,
+                    "depth": depth},
+            label=design))
+    return SweepSpec(name="table1", points=points)
+
+
+def run_experiment_repeat(experiment: str, index: int,
+                          trace=None) -> Dict[str, object]:
+    """One repeat of a dynamic experiment — the sweep worker function.
+
+    ``index`` only distinguishes the point; the run itself is identical
+    every time (the simulator is deterministic), which the merge step
+    verifies by comparing renders across repeats.
+    """
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{experiment}")
+    result = module.run(trace=trace)
+    return {"experiment": experiment, "index": index,
+            "render": result.render()}
+
+
+def repeat_spec(experiment: str,
+                repeats: int = DEFAULT_REPEATS) -> SweepSpec:
+    """``repeats`` independent runs of fig2/sec51/sec52."""
+    if experiment not in ("fig2", "sec51", "sec52"):
+        raise SweepError(
+            f"no repeat family for experiment {experiment!r} "
+            "(choose fig2, sec51, or sec52)")
+    if repeats < 1:
+        raise SweepError(f"repeats must be >= 1, got {repeats}")
+    points = [
+        SweepPoint(
+            key=(experiment, index),
+            func="repro.sweep.families:run_experiment_repeat",
+            kwargs={"experiment": experiment, "index": index},
+            label=f"{experiment}#{index}")
+        for index in range(repeats)]
+    return SweepSpec(name=experiment, points=points, trace_kwarg="trace")
+
+
+def build_spec(name: str, repeats: int = DEFAULT_REPEATS,
+               depth: Optional[int] = None, simulate: bool = False,
+               counts: Optional[Sequence[int]] = None,
+               depths: Optional[Sequence[int]] = None) -> SweepSpec:
+    """Build a named family spec (the CLI entry point)."""
+    if name == "scalability":
+        return scalability_spec(counts=counts, depths=depths,
+                                simulate=simulate)
+    if name == "table1":
+        return table1_spec(depth=depth)
+    if name in ("fig2", "sec51", "sec52"):
+        return repeat_spec(name, repeats=repeats)
+    raise SweepError(f"unknown sweep family {name!r}; "
+                     f"known: {', '.join(FAMILY_NAMES)}")
+
+
+# -- deterministic rendering -------------------------------------------------
+
+def render_outcome(outcome: SweepOutcome) -> str:
+    """Render a family's merged outcome — deterministically.
+
+    The text depends only on the merged point values (never timings or
+    worker placement), so serial and parallel runs print byte-identical
+    reports.
+    """
+    name = outcome.spec_name
+    if name == "scalability":
+        from repro.experiments import scalability
+        return scalability.merge_outcome(outcome).render()
+    if name == "table1":
+        from repro.experiments import table1
+        return table1.merge_outcome(outcome).render()
+    if name in ("fig2", "sec51", "sec52"):
+        return _render_repeats(outcome)
+    raise SweepError(f"no renderer for sweep family {name!r}")
+
+
+def _render_repeats(outcome: SweepOutcome) -> str:
+    outcome.raise_if_failed()
+    values = [outcome.value_map()[key]
+              for key in sorted(outcome.value_map())]
+    renders = [value["render"] for value in values]
+    identical = all(render == renders[0] for render in renders)
+    lines = [renders[0], "",
+             f"repeats: {len(renders)}  identical: {identical}"]
+    if not identical:
+        differing = [index for index, render in enumerate(renders)
+                     if render != renders[0]]
+        lines.append(f"NONDETERMINISM: repeats {differing} differ "
+                     "from repeat 0")
+    return "\n".join(lines)

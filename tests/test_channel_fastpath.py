@@ -1,0 +1,202 @@
+"""The channel rendezvous fast path: fewer events, same semantics.
+
+Blocking ``write``/``read`` now complete synchronously whenever the FIFO
+has room / data (or a parked counterpart to rendezvous with), instead of
+always parking on a Store event and waking through the event queue. These
+tests pin both halves of that claim: the event-traffic reduction (counted
+by wrapping ``Simulator._schedule``) and the unchanged visible semantics
+— values, ordering, stall cycles, occupancy stats — that the channel and
+ordering property suites also guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def _count_schedules(sim):
+    """Patch ``sim._schedule`` to count calls; returns the counter box."""
+    box = {"count": 0}
+    original = sim._schedule
+
+    def counting(event, delay, priority):
+        box["count"] += 1
+        original(event, delay, priority)
+
+    sim._schedule = counting
+    return box
+
+
+class TestEventTraffic:
+    def test_streaming_transfers_schedule_constant_events(self, sim):
+        """A lockstep producer/consumer pair used to pay ~2 store events
+        per transfer; with the fast path the hand-off is synchronous and
+        only the pacing timeouts hit the event queue."""
+        N = 200
+        channel = Channel(sim, "c", depth=4)
+        received = []
+
+        def producer():
+            for value in range(N):
+                yield from channel.write(value)
+                yield sim.timeout(1)
+
+        def consumer():
+            for _ in range(N):
+                value = yield from channel.read()
+                received.append(value)
+                yield sim.timeout(1)
+
+        counter = _count_schedules(sim)
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == list(range(N))
+        # 2N pacing timeouts + startup/teardown; the old slow path added
+        # ~2 more scheduled events per transfer (~4N total).
+        assert counter["count"] <= 2 * N + 20
+
+    def test_burst_into_open_capacity_schedules_nothing_extra(self, sim):
+        """Writes into free capacity complete without touching the queue."""
+        channel = Channel(sim, "c", depth=8)
+
+        def producer():
+            for value in range(8):
+                yield from channel.write(value)
+            yield sim.timeout(0)
+
+        counter = _count_schedules(sim)
+        sim.process(producer())
+        sim.run()
+        # process start + the single explicit timeout, not 8 put events
+        assert counter["count"] <= 4
+        assert channel.occupancy == 8
+
+
+class TestSemanticsPreserved:
+    def test_write_wakes_parked_reader_with_value(self, sim):
+        channel = Channel(sim, "c", depth=2)
+        got = []
+
+        def consumer():
+            value = yield from channel.read()
+            got.append((sim.now, value))
+
+        def producer():
+            yield sim.timeout(3)
+            yield from channel.write("v")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(3, "v")]
+        assert channel.stats.read_stall_cycles == 3
+        assert channel.stats.write_stall_cycles == 0
+
+    def test_read_promotes_parked_writer_in_order(self, sim):
+        """A read from a full FIFO frees one slot; the oldest parked
+        writer's value must land in that slot (FIFO order preserved)."""
+        channel = Channel(sim, "c", depth=1)
+        done = []
+        received = []
+
+        def producer():
+            for value in range(4):
+                yield from channel.write(value)
+                done.append((sim.now, value))
+
+        def consumer():
+            for _ in range(4):
+                yield sim.timeout(2)
+                value = yield from channel.read()
+                received.append(value)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == [0, 1, 2, 3]
+        assert channel.stats.writes == 4
+        assert channel.stats.reads == 4
+        assert channel.stats.write_stall_cycles > 0
+
+    def test_interleaved_bursts_keep_fifo_order(self, sim):
+        channel = Channel(sim, "c", depth=3)
+        received = []
+
+        def producer():
+            for value in range(10):
+                yield from channel.write(value)
+                if value % 3 == 0:
+                    yield sim.timeout(2)
+
+        def consumer():
+            for _ in range(10):
+                value = yield from channel.read()
+                received.append(value)
+                if value % 4 == 0:
+                    yield sim.timeout(3)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == list(range(10))
+
+    def test_occupancy_stats_track_fast_path_writes(self, sim):
+        channel = Channel(sim, "c", depth=4)
+
+        def producer():
+            for value in range(3):
+                yield from channel.write(value)
+            yield sim.timeout(0)
+
+        sim.process(producer())
+        sim.run()
+        assert channel.stats.writes == 3
+        assert channel.stats.max_occupancy == 3
+
+    def test_depth_zero_rendezvous_unchanged(self, sim):
+        """Depth-0 blocking write completes only when a reader arrives
+        (Listing 5 sequencing) — the fast path must not alter this."""
+        channel = Channel(sim, "c", depth=0)
+        write_done = []
+        got = []
+
+        def producer():
+            yield from channel.write("rv")
+            write_done.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(6)
+            value = yield from channel.read()
+            got.append((sim.now, value))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert write_done == [6]
+        assert got == [(6, "rv")]
+
+    def test_reader_first_then_depth_zero_write(self, sim):
+        channel = Channel(sim, "c", depth=0)
+        got = []
+
+        def consumer():
+            value = yield from channel.read()
+            got.append((sim.now, value))
+
+        def producer():
+            yield sim.timeout(4)
+            yield from channel.write(99)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(4, 99)]
