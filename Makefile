@@ -1,6 +1,6 @@
 # Convenience targets for the DAC'17 reproduction.
 
-.PHONY: install test bench bench-perf sweep-demo experiments examples trace-demo all
+.PHONY: install test bench bench-perf profile sweep-demo experiments examples trace-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,11 @@ bench:
 # against benchmarks/perf/baseline.json (see docs/PERFORMANCE.md).
 bench-perf:
 	python -m repro bench
+
+# One cProfile run per benchmark; pstats files land in profiles/
+# (inspect with: python -m pstats profiles/<name>.pstats).
+profile:
+	python -m repro bench --profile
 
 # Shard the §4 scalability grid across worker processes and verify the
 # merged report is byte-identical to a serial run (docs/PERFORMANCE.md,

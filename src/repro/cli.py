@@ -85,6 +85,12 @@ def _add_bench_parser(sub) -> None:
     bench.add_argument("--workers", type=int, default=None, metavar="N",
                        help="shard benchmark repeats across N worker "
                             "processes (smoke runs; serial numbers gate)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run each benchmark once under cProfile and dump "
+                            "per-benchmark pstats files instead of gating")
+    bench.add_argument("--profile-dir", default="profiles", metavar="DIR",
+                       help="directory for --profile pstats output "
+                            "(default: profiles/)")
 
 
 def _add_sweep_parser(sub) -> None:
@@ -195,6 +201,16 @@ def _run_bench(args) -> int:
     from repro.perf import harness
 
     print("repro-fpga perf suite")
+    if args.profile:
+        try:
+            paths = harness.profile_suite(names=args.bench_only,
+                                          out_dir=args.profile_dir)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{len(paths)} pstats file(s) in {args.profile_dir}/ "
+              "(inspect with: python -m pstats <file>)")
+        return 0
     try:
         report = harness.run_suite(names=args.bench_only,
                                    workers=args.workers)

@@ -109,6 +109,34 @@ def extract_profile(kernel_def: ast.KernelDef) -> ResourceProfile:
     return extractor.profile
 
 
+def build_site_table(kernel_name: str, root: ast.Node) -> Dict[int, str]:
+    """Precompute the static site label of every AST node in a kernel.
+
+    Site labels (``"<kernel>:n<node_id>"``) name the hardware unit an op
+    maps to; they are a pure function of the AST, so the compiler computes
+    them once per kernel instead of formatting one per executed op. The
+    table is shared by every iteration's interpreter (see
+    :meth:`_CompiledMixin.body`).
+    """
+    table: Dict[int, str] = {}
+
+    def _walk(node: Any) -> None:
+        table[node.node_id] = f"{kernel_name}:n{node.node_id}"
+        for field_name in getattr(node, "__dataclass_fields__", {}):
+            value = getattr(node, field_name)
+            children = value if isinstance(value, list) else [value]
+            for child in children:
+                if isinstance(child, ast.Node):
+                    _walk(child)
+                elif isinstance(child, tuple):
+                    for element in child:
+                        if isinstance(element, ast.Node):
+                            _walk(element)
+
+    _walk(root)
+    return table
+
+
 def _collect_local_arrays(node: Any, defines: Dict[str, Any]) -> Dict[str, int]:
     """All ``__local type name[size]`` declarations in a kernel body."""
     found: Dict[str, int] = {}
@@ -170,7 +198,8 @@ class _CompiledMixin:
 
     def body(self, ctx):
         interpreter = Interpreter(self.name, self._hdl_modules,
-                                  autorun=self.kind == "autorun")
+                                  autorun=self.kind == "autorun",
+                                  site_table=self._site_table)
         return interpreter.run(self._definition.body, ctx, self._bindings(ctx))
 
     def resource_profile(self) -> ResourceProfile:
@@ -191,6 +220,7 @@ class CompiledSingleTask(_CompiledMixin, SingleTaskKernel):
         self._defines = dict(defines or {})
         self._local_arrays = _collect_local_arrays(definition.body,
                                                    self._defines)
+        self._site_table = build_site_table(definition.name, definition.body)
 
     def iteration_space(self, args) -> List[int]:
         return [0]
@@ -212,6 +242,7 @@ class CompiledNDRange(_CompiledMixin, NDRangeKernel):
         self._defines = dict(defines or {})
         self._local_arrays = _collect_local_arrays(definition.body,
                                                    self._defines)
+        self._site_table = build_site_table(definition.name, definition.body)
 
     def global_size(self, args) -> int:
         try:
@@ -239,6 +270,7 @@ class CompiledAutorun(_CompiledMixin, AutorunKernel):
         self._defines = dict(defines or {})
         self._local_arrays = _collect_local_arrays(definition.body,
                                                    self._defines)
+        self._site_table = build_site_table(definition.name, definition.body)
 
 
 class CompiledProgram:

@@ -85,14 +85,24 @@ class Interpreter:
     """Executes one kernel body for one iteration instance."""
 
     def __init__(self, kernel_name: str, hdl_modules: Dict[str, Any],
-                 autorun: bool = False) -> None:
+                 autorun: bool = False,
+                 site_table: Optional[Dict[int, str]] = None) -> None:
         self.kernel_name = kernel_name
         self.hdl_modules = hdl_modules
         self.autorun = autorun
         self._loop_depth = 0
+        #: node_id -> static site label. The compiler precomputes this once
+        #: per kernel (see ``compiler.build_site_table``) and shares it
+        #: across iterations; a bare interpreter memoizes labels lazily.
+        self._site_table = {} if site_table is None else site_table
 
     def _site(self, node: ast.Node) -> str:
-        return f"{self.kernel_name}:n{node.node_id}"
+        node_id = node.node_id
+        site = self._site_table.get(node_id)
+        if site is None:
+            site = f"{self.kernel_name}:n{node_id}"
+            self._site_table[node_id] = site
+        return site
 
     # -- entry ----------------------------------------------------------------
 

@@ -22,7 +22,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import AddressError
 from repro.memory.backing import AddressMap, BackingStore
-from repro.sim.core import Event, Simulator
+from repro.sim.core import PRIORITY_NORMAL, Event, Simulator
 from repro.sim.resources import Resource
 
 
@@ -145,8 +145,14 @@ class GlobalMemory:
 
     # -- access API ----------------------------------------------------------
 
-    def load(self, buffer_name: str, index: int) -> Event:
-        """Asynchronous load; the event triggers with the value."""
+    def load_timing(self, buffer_name: str, index: int) -> tuple:
+        """Account one load; returns ``(backing_store, latency_cycles)``.
+
+        Bank state, statistics, and traffic counters are updated at issue
+        (as the controller accepts the request). The caller is responsible
+        for reading the value *at completion time* — a posted store that
+        commits while the load is in flight must be observed.
+        """
         store = self.buffer(buffer_name)
         store.check_index(index)
         latency = self._service_latency(store.address_of(index))
@@ -156,19 +162,33 @@ class GlobalMemory:
         traffic = self.traffic.setdefault(buffer_name, BufferTraffic())
         traffic.loads += 1
         traffic.bytes_read += store.itemsize
+        return store, latency
+
+    def load(self, buffer_name: str, index: int) -> Event:
+        """Asynchronous load; the event triggers with the value."""
+        store, latency = self.load_timing(buffer_name, index)
+
+        # One scheduled event per load (not timeout + chained succeed):
+        # the event is scheduled directly at its completion cycle and its
+        # first callback materializes the value *at fire time*, preserving
+        # read-at-completion semantics (a store committing meanwhile is
+        # observed, exactly as with the old two-event chain).
         event = Event(self.sim)
+        event._value = None
 
-        def _complete(done, _store=store, _index=index, _event=event):
-            _event.succeed(_store.read(_index))
+        def _materialize(done, _store=store, _index=index):
+            done._value = _store.read(_index)
 
-        self.sim.timeout(latency).add_callback(_complete)
+        event.callbacks.append(_materialize)
+        self.sim._schedule(event, delay=latency, priority=PRIORITY_NORMAL)
         return event
 
-    def store(self, buffer_name: str, index: int, value: Any) -> Event:
-        """Posted store; the event triggers when the pipeline may proceed.
+    def store_timing(self, buffer_name: str, index: int, value: Any) -> int:
+        """Account one posted store; returns the pipeline-visible latency.
 
-        The value becomes visible in the backing store when the *memory*
-        access completes (its full latency), not when the pipeline resumes.
+        The commit (value becoming visible in the backing store at the
+        access's *full* latency) is scheduled here; the caller only needs
+        an event at the returned posted latency to resume the pipeline.
         """
         store = self.buffer(buffer_name)
         store.check_index(index)
@@ -178,8 +198,6 @@ class GlobalMemory:
         traffic = self.traffic.setdefault(buffer_name, BufferTraffic())
         traffic.stores += 1
         traffic.bytes_written += store.itemsize
-        event = Event(self.sim)
-
         self._pending_commits += 1
 
         def _commit(done, _store=store, _index=index, _value=value):
@@ -190,9 +208,24 @@ class GlobalMemory:
                 for waiter in waiters:
                     waiter.succeed()
 
-        self.sim.timeout(latency).add_callback(_commit)
-        self.sim.timeout(min(latency, self.config.posted_write_latency)).add_callback(
-            lambda done, _event=event: _event.succeed(None))
+        commit = Event(self.sim)
+        commit._value = None
+        commit.callbacks.append(_commit)
+        self.sim._schedule(commit, delay=latency, priority=PRIORITY_NORMAL)
+        return min(latency, self.config.posted_write_latency)
+
+    def store(self, buffer_name: str, index: int, value: Any) -> Event:
+        """Posted store; the event triggers when the pipeline may proceed.
+
+        The value becomes visible in the backing store when the *memory*
+        access completes (its full latency), not when the pipeline resumes.
+        """
+        posted = self.store_timing(buffer_name, index, value)
+        # The pipeline-resume event is scheduled directly at the posted
+        # latency instead of via a chained timeout + succeed().
+        event = Event(self.sim)
+        event._value = None
+        self.sim._schedule(event, delay=posted, priority=PRIORITY_NORMAL)
         return event
 
     @property

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from repro.memory.global_memory import GlobalMemory
-from repro.sim.core import Event, Simulator
+from repro.sim.core import PRIORITY_NORMAL, Event, Simulator
 
 
 @dataclass
@@ -35,7 +35,18 @@ class LSUStats:
 
 
 class LoadStoreUnit:
-    """One memory port: issues accesses and retires them in order."""
+    """One memory port: issues accesses and retires them in order.
+
+    Retirement is scheduled *analytically*: the memory controller reveals
+    each access's latency at issue, and in-order retirement means this
+    access retires at ``max(raw completion, previous retirement)`` — both
+    known the moment it is issued. One directly scheduled event therefore
+    replaces the raw-completion/ordering-gate callback pair the previous
+    implementation threaded through the queue per access; same-cycle
+    retirements still process in program order because the wheel's
+    priority lanes are FIFO within a cycle and earlier accesses schedule
+    their retire events first.
+    """
 
     def __init__(self, sim: Simulator, memory: GlobalMemory, site: str,
                  kind: str, keep_samples: bool = False) -> None:
@@ -47,46 +58,47 @@ class LoadStoreUnit:
         self.kind = kind
         self.stats = LSUStats()
         self._keep_samples = keep_samples
-        #: Completion event of the most recently issued access (ordering tail).
-        self._tail: Optional[Event] = None
+        #: Absolute cycle at which the most recently issued access retires
+        #: (the in-order tail); no access may retire before it.
+        self._tail_time = -1
 
     def issue(self, buffer_name: str, index: int, value: Any = None) -> Event:
         """Issue one access; the returned event retires in program order."""
-        self.stats.issued += 1
-        issue_cycle = self.sim.now
+        stats = self.stats
+        stats.issued += 1
+        sim = self.sim
+        now = sim._now
         if self.kind == "load":
-            raw = self.memory.load(buffer_name, index)
+            store, latency = self.memory.load_timing(buffer_name, index)
         else:
-            raw = self.memory.store(buffer_name, index, value)
+            store = None
+            latency = self.memory.store_timing(buffer_name, index, value)
 
-        retire = Event(self.sim)
-        previous_tail = self._tail
-        self._tail = retire
-        state = {"raw_done": False, "prev_done": previous_tail is None,
-                 "value": None, "raw_cycle": None}
+        raw_time = now + latency
+        tail = self._tail_time
+        retire_time = raw_time if raw_time >= tail else tail
+        self._tail_time = retire_time
+        total_latency = retire_time - now
+        stall = retire_time - raw_time
 
-        def _maybe_retire() -> None:
-            if state["raw_done"] and state["prev_done"] and not retire.triggered:
-                latency = self.sim.now - issue_cycle
-                self.stats.completed += 1
-                self.stats.total_latency += latency
-                if latency > self.stats.max_latency:
-                    self.stats.max_latency = latency
-                self.stats.ordering_stall_cycles += self.sim.now - state["raw_cycle"]
-                if self._keep_samples:
-                    self.stats.samples.append(latency)
-                retire.succeed(state["value"])
+        retire = Event(sim)
+        retire._value = None
 
-        def _on_raw(event: Event) -> None:
-            state["raw_done"] = True
-            state["value"] = event._value
-            state["raw_cycle"] = self.sim.now
-            _maybe_retire()
+        def _finalize(done, _stats=stats, _latency=total_latency,
+                      _stall=stall, _store=store, _index=index,
+                      _keep=self._keep_samples):
+            # Runs at the retirement cycle: stats become visible (and the
+            # loaded value is read) at completion time, not issue time.
+            _stats.completed += 1
+            _stats.total_latency += _latency
+            if _latency > _stats.max_latency:
+                _stats.max_latency = _latency
+            _stats.ordering_stall_cycles += _stall
+            if _keep:
+                _stats.samples.append(_latency)
+            if _store is not None:
+                done._value = _store.read(_index)
 
-        raw.add_callback(_on_raw)
-        if previous_tail is not None:
-            def _on_prev(event: Event) -> None:
-                state["prev_done"] = True
-                _maybe_retire()
-            previous_tail.add_callback(_on_prev)
+        retire.callbacks.append(_finalize)
+        sim._schedule(retire, delay=total_latency, priority=PRIORITY_NORMAL)
         return retire

@@ -22,6 +22,9 @@ from repro.errors import KernelArgumentError
 from repro.pipeline import ops
 from repro.pipeline.accumulator import Accumulator
 
+#: Shared cycle-boundary op (stateless; see :meth:`KernelContext.cycle`).
+_CYCLE_BOUNDARY = ops.CycleBoundary()
+
 
 class KernelContext:
     """Per-iteration (or per-compute-unit) view of the machine."""
@@ -131,8 +134,12 @@ class KernelContext:
         return ops.MemFence(flags)
 
     def cycle(self) -> ops.CycleBoundary:
-        """Advance one clock (autorun outer-loop heartbeat, Listing 8)."""
-        return ops.CycleBoundary()
+        """Advance one clock (autorun outer-loop heartbeat, Listing 8).
+
+        Returns a shared immutable instance: the op carries no per-call
+        state, and autorun kernels yield one per simulated cycle.
+        """
+        return _CYCLE_BOUNDARY
 
     def barrier(self, site: Optional[str] = None) -> ops.Barrier:
         """OpenCL ``barrier(CLK_LOCAL_MEM_FENCE)``: group-wide sync point."""

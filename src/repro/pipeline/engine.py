@@ -18,7 +18,22 @@ observes:
 
 Site identity is derived from the generator's suspended source line when
 not given explicitly, so one textual ``yield`` maps to one hardware unit
-across all iterations — mirroring static elaboration.
+across all iterations — mirroring static elaboration. Compiled kernels
+attach precomputed sites to every op instead (see
+:func:`repro.frontend.compiler.build_site_table`), which keeps frame
+inspection entirely off the compiled-listings path.
+
+Op execution has two interchangeable executors (see ``docs/PERFORMANCE.md``,
+"Op dispatch and cycle fusion"):
+
+* the **fast executor** (default): a type-keyed dispatch table
+  (:data:`OP_DISPATCH`) with the dominant ops inlined straight into the
+  drive loop, zero-latency compute runs fused into one scheduler visit,
+  and autorun ``CycleBoundary`` steps parked on one shared broadcast tick
+  per ``(cycle, phase)``;
+* the **reference executor** (``executor="reference"``): the original
+  one-generator-per-op interpretation loop, kept as the semantic oracle
+  for the dispatch property suite.
 """
 
 from __future__ import annotations
@@ -39,6 +54,21 @@ from repro.sim.core import (
     Interrupt,
     Process,
 )
+
+
+# Hot-op aliases: `op.__class__ is _X` beats isinstance() and keeps the
+# fast drive loop free of attribute lookups.
+_Compute = ops.Compute
+_CycleBoundary = ops.CycleBoundary
+_Load = ops.Load
+_Store = ops.Store
+_LoadLocal = ops.LoadLocal
+_StoreLocal = ops.StoreLocal
+_MemFence = ops.MemFence
+
+
+class _NonOpYield(Exception):
+    """Internal: a kernel body yielded something that is not an Op."""
 
 
 class KernelInstance:
@@ -104,7 +134,8 @@ class EngineStats:
 class _OpExecutor:
     """Shared op-execution machinery for pipelined and autorun engines."""
 
-    def __init__(self, fabric: Any, kernel: Kernel) -> None:
+    def __init__(self, fabric: Any, kernel: Kernel,
+                 executor: str = "fast") -> None:
         self.fabric = fabric
         self.kernel = kernel
         self.sim = fabric.sim
@@ -112,6 +143,16 @@ class _OpExecutor:
         #: Site-name cache keyed by the static identity of a yield: the
         #: body's code object, suspended line, op class, and compute unit.
         self._site_cache: Dict[Tuple[Any, int, type, int], str] = {}
+        #: Intra-cycle lane of this kernel's cycle boundaries, resolved once
+        #: ("early" producers run urgent, everything else late).
+        self._tick_priority = (PRIORITY_URGENT
+                               if getattr(kernel, "phase", "late") == "early"
+                               else PRIORITY_LATE)
+        if executor == "reference":
+            self._drive = self._drive_reference
+        elif executor != "fast":
+            raise KernelBuildError(
+                f"unknown executor {executor!r} (use 'fast' or 'reference')")
 
     def lsu(self, site: str, kind: str) -> LoadStoreUnit:
         """Get-or-create the LSU backing one static memory site."""
@@ -143,12 +184,99 @@ class _OpExecutor:
         return site
 
     def _cycle_priority(self) -> int:
-        phase = getattr(self.kernel, "phase", "late")
-        return PRIORITY_URGENT if phase == "early" else PRIORITY_LATE
+        return self._tick_priority
 
     def _drive(self, generator: Generator, compute_id: int,
                ctx: Optional[KernelContext] = None) -> Generator:
-        """Run one body generator to completion, executing yielded ops."""
+        """Run one body generator to completion, executing yielded ops.
+
+        The fast executor. Dominant ops execute inline (no per-op handler
+        generator); anything else goes through :data:`OP_DISPATCH`. Runs
+        of *zero-latency* ``Compute`` ops are fused: they are purely
+        combinational, so the body is resumed immediately with the op's
+        value and no event ever reaches the scheduler. Timed computes
+        yield their delay inline (one pooled tick or timeout, no per-op
+        ``_execute`` generator) so ``ctx.now`` observed by the body after
+        the yield advances exactly as in the reference executor.
+        """
+        sim = self.sim
+        lsus = self._lsus
+        send = generator.send
+        send_value: Any = None
+        throw_exc: Optional[BaseException] = None
+        while True:
+            try:
+                if throw_exc is not None:
+                    op = generator.throw(throw_exc)
+                    throw_exc = None
+                else:
+                    op = send(send_value)
+            except StopIteration:
+                return
+            cls = op.__class__
+            if cls is _Compute and not op.cycles:
+                send_value = op.value
+                continue
+            try:
+                if cls is _Compute:
+                    cycles = op.cycles
+                    yield sim.tick() if cycles == 1 else sim.timeout(cycles)
+                    send_value = op.value
+                elif cls is _Load:
+                    site = op.site
+                    if site is None:
+                        site = self._derive_site(generator, op, compute_id)
+                    lsu = lsus.get((site, "load"))
+                    if lsu is None:
+                        lsu = self.lsu(site, "load")
+                    send_value = yield lsu.issue(op.buffer, op.index)
+                elif cls is _Store:
+                    site = op.site
+                    if site is None:
+                        site = self._derive_site(generator, op, compute_id)
+                    lsu = lsus.get((site, "store"))
+                    if lsu is None:
+                        lsu = self.lsu(site, "store")
+                    yield lsu.issue(op.buffer, op.index, op.value)
+                    send_value = None
+                elif cls is _CycleBoundary:
+                    yield sim.broadcast_tick(self._tick_priority)
+                    send_value = None
+                elif cls is _LoadLocal:
+                    send_value = yield op.memory.load(op.index)
+                elif cls is _StoreLocal:
+                    yield op.memory.store(op.index, op.value)
+                    send_value = None
+                elif cls is _MemFence:
+                    send_value = None
+                else:
+                    handler = OP_DISPATCH.get(cls) or _resolve_handler(cls)
+                    if handler is None:
+                        if isinstance(op, ops.Op):
+                            raise KernelBuildError(
+                                f"unknown op {op!r} from kernel "
+                                f"{self.kernel.name!r}")
+                        raise _NonOpYield(op)
+                    send_value = yield from handler(self, generator, op,
+                                                    compute_id, ctx)
+            except Interrupt:
+                generator.close()
+                raise
+            except _NonOpYield as bad:
+                generator.close()
+                raise KernelBuildError(
+                    f"kernel {self.kernel.name!r} yielded {bad.args[0]!r}; "
+                    "kernel bodies must yield Op objects built via the "
+                    "KernelContext") from None
+            except BaseException as exc:
+                send_value = None
+                throw_exc = exc
+
+    def _drive_reference(self, generator: Generator, compute_id: int,
+                         ctx: Optional[KernelContext] = None) -> Generator:
+        """The retained reference executor: one ``_execute`` generator per
+        op, no fusion, per-process pooled cycle ticks. Semantic oracle for
+        the fast path (see tests/test_prop_dispatch_equivalence.py)."""
         send_value: Any = None
         throw_exc: Optional[BaseException] = None
         while True:
@@ -174,6 +302,81 @@ class _OpExecutor:
             except BaseException as exc:
                 send_value = None
                 throw_exc = exc
+
+    # -- dispatch-table handlers (one per op type; cold ops only on the
+    # -- fast path, every op on the reference path via _execute) ---------
+
+    def _op_barrier(self, generator: Generator, op: ops.Op, compute_id: int,
+                    ctx: Optional[KernelContext]) -> Generator:
+        site = op.site or self._derive_site(generator, op, compute_id)
+        yield self._barrier_arrive(site, ctx)
+        return None
+
+    def _op_load(self, generator: Generator, op: ops.Op, compute_id: int,
+                 ctx: Optional[KernelContext]) -> Generator:
+        site = op.site or self._derive_site(generator, op, compute_id)
+        value = yield self.lsu(site, "load").issue(op.buffer, op.index)
+        return value
+
+    def _op_store(self, generator: Generator, op: ops.Op, compute_id: int,
+                  ctx: Optional[KernelContext]) -> Generator:
+        site = op.site or self._derive_site(generator, op, compute_id)
+        yield self.lsu(site, "store").issue(op.buffer, op.index, op.value)
+        return None
+
+    def _op_load_local(self, generator: Generator, op: ops.Op,
+                       compute_id: int,
+                       ctx: Optional[KernelContext]) -> Generator:
+        value = yield op.memory.load(op.index)
+        return value
+
+    def _op_store_local(self, generator: Generator, op: ops.Op,
+                        compute_id: int,
+                        ctx: Optional[KernelContext]) -> Generator:
+        yield op.memory.store(op.index, op.value)
+        return None
+
+    def _op_read_channel(self, generator: Generator, op: ops.Op,
+                         compute_id: int,
+                         ctx: Optional[KernelContext]) -> Generator:
+        value = yield from op.channel.read()
+        return value
+
+    def _op_write_channel(self, generator: Generator, op: ops.Op,
+                          compute_id: int,
+                          ctx: Optional[KernelContext]) -> Generator:
+        yield from op.channel.write(op.value)
+        return None
+
+    def _op_call(self, generator: Generator, op: ops.Op, compute_id: int,
+                 ctx: Optional[KernelContext]) -> Generator:
+        value = yield from op.module.invoke(op.args)
+        return value
+
+    def _op_compute(self, generator: Generator, op: ops.Op, compute_id: int,
+                    ctx: Optional[KernelContext]) -> Generator:
+        if op.cycles == 1:
+            yield self.sim.tick()
+        elif op.cycles:
+            yield self.sim.timeout(op.cycles)
+        return op.value
+
+    def _op_collect(self, generator: Generator, op: ops.Op, compute_id: int,
+                    ctx: Optional[KernelContext]) -> Generator:
+        value = yield op.accumulator.collect(op.key, op.expected)
+        return value
+
+    def _op_mem_fence(self, generator: Generator, op: ops.Op,
+                      compute_id: int,
+                      ctx: Optional[KernelContext]) -> Generator:
+        return None
+        yield  # pragma: no cover - makes this a generator, never reached
+
+    def _op_cycle_boundary(self, generator: Generator, op: ops.Op,
+                           compute_id: int,
+                           ctx: Optional[KernelContext]) -> Generator:
+        yield self.sim.broadcast_tick(self._tick_priority)
+        return None
 
     def _execute(self, op: ops.Op, site: str,
                  ctx: Optional[KernelContext] = None) -> Generator:
@@ -225,17 +428,50 @@ class _OpExecutor:
             "an NDRange kernel launch")
 
 
+#: Type-keyed op dispatch: every concrete :class:`~repro.pipeline.ops.Op`
+#: subclass maps to its executor handler. The fast drive loop consults it
+#: for ops it does not inline; the exhaustiveness test
+#: (tests/test_op_dispatch.py) asserts a newly added op can never silently
+#: fall through. Handlers are generator methods with the uniform signature
+#: ``(self, generator, op, compute_id, ctx)`` returning the op's result.
+OP_DISPATCH: Dict[type, Any] = {
+    ops.Barrier: _OpExecutor._op_barrier,
+    ops.Load: _OpExecutor._op_load,
+    ops.Store: _OpExecutor._op_store,
+    ops.LoadLocal: _OpExecutor._op_load_local,
+    ops.StoreLocal: _OpExecutor._op_store_local,
+    ops.ReadChannel: _OpExecutor._op_read_channel,
+    ops.WriteChannel: _OpExecutor._op_write_channel,
+    ops.Call: _OpExecutor._op_call,
+    ops.Compute: _OpExecutor._op_compute,
+    ops.CollectReduction: _OpExecutor._op_collect,
+    ops.MemFence: _OpExecutor._op_mem_fence,
+    ops.CycleBoundary: _OpExecutor._op_cycle_boundary,
+}
+
+
+def _resolve_handler(cls: type) -> Optional[Any]:
+    """MRO fallback for Op *subclasses* (memoized into the table)."""
+    for base in getattr(cls, "__mro__", ()):
+        handler = OP_DISPATCH.get(base)
+        if handler is not None:
+            OP_DISPATCH[cls] = handler
+            return handler
+    return None
+
+
 class PipelineEngine(_OpExecutor):
     """Executes a single-task or NDRange kernel as a pipelined launch."""
 
     def __init__(self, fabric: Any, kernel: Kernel, args: Optional[Dict[str, Any]] = None,
                  compute_id: int = 0,
-                 space: Optional[Any] = None) -> None:
+                 space: Optional[Any] = None,
+                 executor: str = "fast") -> None:
         if isinstance(kernel, AutorunKernel):
             raise KernelBuildError(
                 f"autorun kernel {kernel.name!r} cannot be enqueued; "
                 "it starts with the device (use AutorunEngine)")
-        super().__init__(fabric, kernel)
+        super().__init__(fabric, kernel, executor=executor)
         self.instance = KernelInstance(fabric, kernel, args or {}, compute_id)
         #: Optional iteration-space override (multi-compute-unit launches
         #: give each unit its share of the space).
@@ -264,7 +500,6 @@ class PipelineEngine(_OpExecutor):
     def _launcher(self) -> Generator:
         self.stats.start_cycle = self.sim.now
         last_issue: Optional[int] = None
-        issued_any = False
         space = (self._space if self._space is not None
                  else self.kernel.iteration_space(self.instance.args))
         for tag in space:
@@ -278,11 +513,12 @@ class PipelineEngine(_OpExecutor):
                 yield self._slot_event
                 self.stats.issue_stall_cycles += self.sim.now - stall_start
             self._issue(tag)
-            issued_any = True
             last_issue = self.sim.now
         self._launch_done = True
-        if not issued_any:
-            self._maybe_complete()
+        # Inline-started iterations can retire synchronously inside
+        # _issue(), i.e. before _launch_done was set — re-check here
+        # rather than only when no iteration was issued at all.
+        self._maybe_complete()
 
     def _issue(self, tag: Any) -> None:
         self._inflight += 1
@@ -290,7 +526,7 @@ class PipelineEngine(_OpExecutor):
         ctx = KernelContext(self.instance, iteration=tag)
         body = self.kernel.body(ctx)
         self.sim.process(self._iteration(body, ctx, tag, self.sim.now),
-                         name=f"{self.kernel.name}[{tag}]")
+                         name=f"{self.kernel.name}[{tag}]", inline=True)
 
     def _iteration(self, body: Generator, ctx: Optional[KernelContext],
                    tag: Any, issued_at: int) -> Generator:
@@ -366,11 +602,12 @@ class AutorunEngine(_OpExecutor):
     """Runs the compute units of an autorun kernel forever (until stopped)."""
 
     def __init__(self, fabric: Any, kernel: AutorunKernel,
-                 args: Optional[Dict[str, Any]] = None) -> None:
+                 args: Optional[Dict[str, Any]] = None,
+                 executor: str = "fast") -> None:
         if not isinstance(kernel, AutorunKernel):
             raise KernelBuildError(
                 f"kernel {kernel.name!r} is not autorun; use PipelineEngine")
-        super().__init__(fabric, kernel)
+        super().__init__(fabric, kernel, executor=executor)
         self.instances: List[KernelInstance] = [
             KernelInstance(fabric, kernel, args or {}, compute_id)
             for compute_id in range(kernel.num_compute_units)
@@ -393,7 +630,7 @@ class AutorunEngine(_OpExecutor):
         if skew:
             yield self.sim.timeout(skew)
         # Align the unit to its intra-cycle phase from the very first cycle.
-        yield self.sim.timeout(0, priority=self._cycle_priority())
+        yield self.sim.timeout(0, priority=self._tick_priority)
         ctx = KernelContext(instance, iteration=None)
         body = self.kernel.body(ctx)
         try:

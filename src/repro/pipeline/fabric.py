@@ -16,7 +16,7 @@ from repro.errors import KernelError, ProcessError, SimulationError
 from repro.memory.global_memory import GlobalMemory, GlobalMemoryConfig
 from repro.pipeline.engine import AutorunEngine, PipelineEngine
 from repro.pipeline.kernel import AutorunKernel, Kernel
-from repro.sim.core import Event, Simulator
+from repro.sim.core import _HORIZON, Event, Simulator
 
 
 class Fabric:
@@ -81,9 +81,15 @@ class Fabric:
         self._lazy_counters.append(counter)
 
     def launch(self, kernel: Kernel, args: Optional[Dict[str, Any]] = None,
-               compute_id: int = 0) -> PipelineEngine:
-        """Launch a single-task or NDRange kernel; returns its engine."""
-        engine = PipelineEngine(self, kernel, args, compute_id=compute_id)
+               compute_id: int = 0, executor: str = "fast") -> PipelineEngine:
+        """Launch a single-task or NDRange kernel; returns its engine.
+
+        ``executor="reference"`` runs the launch through the retained
+        reference op executor (the pre-dispatch-table semantics oracle;
+        see ``docs/PERFORMANCE.md``).
+        """
+        engine = PipelineEngine(self, kernel, args, compute_id=compute_id,
+                                executor=executor)
         engine.start()
         self.engines.append(engine)
         return engine
@@ -127,32 +133,55 @@ class Fabric:
         channel read whose producer never writes) — a real board would hang
         the same way; the simulator reports it instead.
         """
+        sim = self.sim
+        pending = Event._PENDING
+        burst_limit = max_cycles - _HORIZON
         for completion in completions:
-            while not completion.triggered:
-                if self.sim.peek() is None:
+            while completion._value is pending:
+                next_time = sim.peek()
+                if next_time is None:
                     raise SimulationError(
                         "deadlock: no scheduled events but a kernel launch "
                         "has not completed (blocked channel or missing producer?)")
-                next_time = self.sim.peek()
-                if self.sim.now > max_cycles or (next_time is not None
-                                                 and next_time > max_cycles):
+                if sim.now > max_cycles or next_time > max_cycles:
                     raise SimulationError(
                         f"kernel did not complete within {max_cycles} cycles")
-                self.sim.step()
-                self.sim._raise_crashed()
+                if not sim._wheel_count or next_time > burst_limit:
+                    # Precise mode: only far-future events remain (their
+                    # times are unbounded) or now is close enough to the
+                    # cycle guard that a wheel event could cross it, so a
+                    # peek must precede every step.
+                    sim.step()
+                    if sim._crashed:
+                        sim._raise_crashed()
+                else:
+                    # Burst mode: the wheel is non-empty and wheel times
+                    # are bounded by now + horizon, so whatever _pop_next
+                    # selects (wheel head or an even earlier far event)
+                    # fires at most now + horizon <= max_cycles — while
+                    # now stays below the guard minus the horizon, no
+                    # event past max_cycles can execute, so events are
+                    # drained without the two peek() calls per step the
+                    # old loop paid (they dominated the run() profile).
+                    while (sim._wheel_count and sim._now <= burst_limit
+                           and completion._value is pending):
+                        sim.step()
+                        if sim._crashed:
+                            sim._raise_crashed()
             if not completion._ok:
                 completion._defused = True
                 raise ProcessError(str(completion._value)) from completion._value
 
     def run_kernel(self, kernel: Kernel, args: Optional[Dict[str, Any]] = None,
-                   max_cycles: int = 10_000_000) -> PipelineEngine:
+                   max_cycles: int = 10_000_000,
+                   executor: str = "fast") -> PipelineEngine:
         """Launch ``kernel`` and run until it completes and memory quiesces.
 
         Posted stores commit after the pipeline retires them; like a real
         runtime's ``clFinish``, this waits for global memory to drain so the
         host may immediately read result buffers.
         """
-        engine = self.launch(kernel, args)
+        engine = self.launch(kernel, args, executor=executor)
         self.run(engine.completion, max_cycles=max_cycles)
         self.run(self.memory.drained(), max_cycles=max_cycles)
         return engine

@@ -189,7 +189,8 @@ class Process(Event):
 
     __slots__ = ("_generator", "name", "_target", "_stale")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "",
+                 inline: bool = False) -> None:
         super().__init__(sim)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise ProcessError(f"process body must be a generator, got {generator!r}")
@@ -199,12 +200,19 @@ class Process(Event):
         #: Wait targets this process was detached from by interrupt(); their
         #: wake-ups are dropped without an O(n) callbacks.remove() scan.
         self._stale: Optional[List[Event]] = None
-        # Kick off the process at the current time.
+        # Kick off the process at the current time. ``inline`` starts the
+        # generator immediately (same cycle, no delay-0 init event through
+        # the queue) — used by the pipeline engine's per-iteration
+        # processes, where the init round-trip dominated event pressure.
         init = Event(sim)
         init._ok = True
         init._value = None
-        sim._schedule(init, delay=0, priority=PRIORITY_NORMAL)
-        init.callbacks.append(self._resume)
+        if inline:
+            init.callbacks = None
+            self._resume(init)
+        else:
+            sim._schedule(init, delay=0, priority=PRIORITY_NORMAL)
+            init.callbacks.append(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -241,6 +249,7 @@ class Process(Event):
             if not stale:
                 self._stale = None
             return
+        outer = self.sim._active_process
         self.sim._active_process = self
         try:
             while True:
@@ -272,7 +281,9 @@ class Process(Event):
                 # Event already processed: loop and deliver immediately.
                 event = next_event
         finally:
-            self.sim._active_process = None
+            # Restore rather than clear: an inline-started process resumes
+            # nested inside its creator's own _resume frame.
+            self.sim._active_process = outer
 
 
 class Simulator:
@@ -306,6 +317,8 @@ class Simulator:
         self._far: List = []
         #: Recycled one-cycle timeouts (see tick()).
         self._tick_pool: List[_TickTimeout] = []
+        #: Shared one-cycle ticks, one per priority lane: (created_at, event).
+        self._broadcast_ticks: dict = {}
 
     @property
     def now(self) -> int:
@@ -348,9 +361,32 @@ class Simulator:
             return tick
         return _TickTimeout(self, 1, None, priority)
 
-    def process(self, generator: Generator, name: str = "") -> Process:
-        """Start a new process from ``generator``."""
-        return Process(self, generator, name=name)
+    def broadcast_tick(self, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """A *shared* one-cycle timeout for coalesced pipeline stepping.
+
+        All callers at the same ``(cycle, priority)`` receive the same
+        event object and are resumed together (in yield order) when it
+        fires — N compute units stepping in lockstep cost one scheduled
+        event per cycle instead of N. Unlike :meth:`tick`, the returned
+        event is a plain (non-recycled) :class:`Timeout`, so any number of
+        processes may wait on it, and a waiter interrupted while parked is
+        detached safely through the stale-target mechanism.
+        """
+        entry = self._broadcast_ticks.get(priority)
+        if entry is not None and entry[0] == self._now:
+            return entry[1]
+        event = Timeout(self, 1, None, priority)
+        self._broadcast_ticks[priority] = (self._now, event)
+        return event
+
+    def process(self, generator: Generator, name: str = "",
+                inline: bool = False) -> Process:
+        """Start a new process from ``generator``.
+
+        ``inline=True`` runs the generator's first segment immediately
+        instead of via a delay-0 init event (see :class:`Process`).
+        """
+        return Process(self, generator, name=name, inline=inline)
 
     # -- scheduling & execution ------------------------------------------
 
