@@ -24,6 +24,11 @@ class Node:
 
     def __post_init__(self) -> None:
         self.node_id = _next_id()
+        # Source position (1-based), stamped by the parser; 0 means
+        # unknown (programmatically built nodes). Plain attributes, not
+        # dataclass fields, so subclasses keep their field ordering.
+        self.line = 0
+        self.column = 0
 
 
 # -- expressions -----------------------------------------------------------

@@ -13,13 +13,37 @@ its args); anything else is a single task. Compiled single-task kernels
 execute their loop nests *serially* (the frontend is a correctness-level
 compiler, like the emulator); use the native Python-IR kernels when
 pipelined timing is the subject of study.
+
+Two execution backends share one parse:
+
+* ``frontend="codegen"`` (default) lowers each kernel body once to
+  slot-framed Python closures (:mod:`repro.frontend.codegen`) — names
+  become list indices, pure arithmetic runs outside generator frames,
+  and only scheduler ops yield. Same op stream, several times faster.
+* ``frontend="reference"`` keeps the tree-walking interpreter — the
+  semantics oracle the codegen backend is tested against.
+
+Compilation artifacts that don't depend on the target fabric (the AST,
+site tables, ``__local`` layouts, compiled closure bodies) are cached in
+a process-wide LRU keyed by source text and compile options, so hosts
+that re-program fabrics with the same ``.cl`` source skip the frontend
+entirely. Inspect with :func:`program_cache_info`; reset with
+:func:`program_cache_clear`.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
+from repro.channels.registry import ChannelArray
 from repro.frontend import ast_nodes as ast
+from repro.frontend.codegen import (
+    K_CHANARR,
+    K_CHANNEL,
+    CompiledBody,
+    compile_kernel_body,
+)
 from repro.frontend.interpreter import CHANNEL_BUILTINS, Interpreter
 from repro.frontend.lexer import FrontendError
 from repro.frontend.parser import parse
@@ -33,6 +57,10 @@ from repro.pipeline.kernel import (
     ResourceProfile,
     SingleTaskKernel,
 )
+
+#: Execution backends accepted by the ``frontend=`` compile option.
+FRONTENDS = ("codegen", "reference")
+DEFAULT_FRONTEND = "codegen"
 
 
 def _uses_global_id(node: Any) -> bool:
@@ -114,9 +142,9 @@ def build_site_table(kernel_name: str, root: ast.Node) -> Dict[int, str]:
 
     Site labels (``"<kernel>:n<node_id>"``) name the hardware unit an op
     maps to; they are a pure function of the AST, so the compiler computes
-    them once per kernel instead of formatting one per executed op. The
-    table is shared by every iteration's interpreter (see
-    :meth:`_CompiledMixin.body`).
+    them once per kernel instead of formatting one per executed op. Both
+    execution backends read the same table, which is what makes their op
+    streams site-for-site identical.
     """
     table: Dict[int, str] = {}
 
@@ -165,8 +193,157 @@ def _collect_local_arrays(node: Any, defines: Dict[str, Any]) -> Dict[str, int]:
     return found
 
 
+# -- fabric-independent compilation artifacts --------------------------------
+
+class KernelArtifacts:
+    """Everything compiled once per (kernel, options), reused per fabric."""
+
+    __slots__ = ("definition", "kind", "site_table", "local_arrays",
+                 "compiled_body")
+
+    def __init__(self, definition: ast.KernelDef, kind: str,
+                 site_table: Dict[int, str], local_arrays: Dict[str, int],
+                 compiled_body: Optional[CompiledBody]) -> None:
+        self.definition = definition
+        self.kind = kind                      # "autorun" | "ndrange" | "task"
+        self.site_table = site_table
+        self.local_arrays = local_arrays
+        self.compiled_body = compiled_body    # None under "reference"
+
+
+def build_kernel_artifacts(definition: ast.KernelDef,
+                           defines: Dict[str, Any],
+                           channel_kinds: Dict[str, int],
+                           hdl_names,
+                           frontend: str) -> KernelArtifacts:
+    """Compile one kernel definition's fabric-independent artifacts."""
+    if definition.is_autorun:
+        kind = "autorun"
+    elif _uses_global_id(definition.body):
+        kind = "ndrange"
+    else:
+        kind = "task"
+    site_table = build_site_table(definition.name, definition.body)
+    local_arrays = _collect_local_arrays(definition.body, defines)
+    compiled_body = None
+    if frontend == "codegen":
+        compiled_body = compile_kernel_body(
+            definition,
+            site_table=site_table,
+            defines=defines,
+            channel_kinds=channel_kinds,
+            hdl_names=hdl_names,
+            autorun=kind == "autorun")
+    return KernelArtifacts(definition, kind, site_table, local_arrays,
+                           compiled_body)
+
+
+class _ProgramImage:
+    """Parsed + codegenned program, independent of any fabric."""
+
+    __slots__ = ("ast", "macros", "artifacts")
+
+    def __init__(self, program_ast: ast.Program, macros: Dict[str, str],
+                 artifacts: Dict[str, KernelArtifacts]) -> None:
+        self.ast = program_ast
+        self.macros = macros
+        self.artifacts = artifacts
+
+
+def _build_image(source: str, defines: Dict[str, Any], hdl_names,
+                 frontend: str) -> _ProgramImage:
+    expanded, macros = preprocess(source)
+    program_ast = parse(expanded)
+    channel_kinds = {
+        declaration.name: (K_CHANNEL if declaration.count is None
+                           else K_CHANARR)
+        for declaration in program_ast.channels
+    }
+    artifacts = {
+        definition.name: build_kernel_artifacts(
+            definition, defines, channel_kinds, hdl_names, frontend)
+        for definition in program_ast.kernels
+    }
+    return _ProgramImage(program_ast, macros, artifacts)
+
+
+#: Process-wide LRU of program images, keyed by source + compile options.
+_PROGRAM_CACHE: "OrderedDict[Any, _ProgramImage]" = OrderedDict()
+_PROGRAM_CACHE_MAXSIZE = 128
+_cache_hits = 0
+_cache_misses = 0
+
+
+def _load_image(source: str, defines: Dict[str, Any], hdl_names,
+                frontend: str) -> _ProgramImage:
+    global _cache_hits, _cache_misses
+    try:
+        key = (source, tuple(sorted(defines.items())),
+               tuple(sorted(hdl_names)), frontend)
+        hash(key)
+    except TypeError:
+        # Unhashable options (exotic define values): compile uncached.
+        _cache_misses += 1
+        return _build_image(source, defines, hdl_names, frontend)
+    image = _PROGRAM_CACHE.get(key)
+    if image is not None:
+        _cache_hits += 1
+        _PROGRAM_CACHE.move_to_end(key)
+        return image
+    _cache_misses += 1
+    image = _build_image(source, defines, hdl_names, frontend)
+    _PROGRAM_CACHE[key] = image
+    if len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAXSIZE:
+        _PROGRAM_CACHE.popitem(last=False)
+    return image
+
+
+def program_cache_info() -> Dict[str, int]:
+    """Program-image cache statistics (for tests and capacity tuning)."""
+    return {"hits": _cache_hits, "misses": _cache_misses,
+            "size": len(_PROGRAM_CACHE), "maxsize": _PROGRAM_CACHE_MAXSIZE}
+
+
+def program_cache_clear() -> None:
+    """Drop all cached program images and reset the hit/miss counters."""
+    global _cache_hits, _cache_misses
+    _PROGRAM_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+# -- compiled kernel objects -------------------------------------------------
+
 class _CompiledMixin:
     """Shared launch-time binding and execution for compiled kernels."""
+
+    def _init_compiled(self, definition, channel_bindings, hdl_modules,
+                       defines, frontend: str,
+                       artifacts: Optional[KernelArtifacts]) -> None:
+        if frontend not in FRONTENDS:
+            raise FrontendError(
+                f"unknown frontend {frontend!r}; expected one of "
+                f"{', '.join(FRONTENDS)}")
+        self._definition = definition
+        self._channel_bindings = channel_bindings
+        self._hdl_modules = hdl_modules
+        self._defines = dict(defines or {})
+        self.frontend = frontend
+        if artifacts is None:
+            # Direct construction (no program image): infer the channel
+            # kinds from the live bindings and compile on the spot.
+            channel_kinds = {
+                name: (K_CHANARR if isinstance(value, ChannelArray)
+                       else K_CHANNEL)
+                for name, value in channel_bindings.items()
+            }
+            artifacts = build_kernel_artifacts(
+                definition, self._defines, channel_kinds,
+                hdl_modules.keys(), frontend)
+        self._artifacts = artifacts
+        self._site_table = artifacts.site_table
+        self._local_arrays = artifacts.local_arrays
+        self._compiled_body = artifacts.compiled_body
 
     def create_locals(self, fabric, compute_id: int) -> Dict[str, Any]:
         """Instantiate this kernel's ``__local`` arrays as block RAM."""
@@ -197,6 +374,9 @@ class _CompiledMixin:
         return bindings
 
     def body(self, ctx):
+        compiled = self._compiled_body
+        if compiled is not None:
+            return compiled.make(ctx, self._bindings(ctx), self._hdl_modules)
         interpreter = Interpreter(self.name, self._hdl_modules,
                                   autorun=self.kind == "autorun",
                                   site_table=self._site_table)
@@ -211,16 +391,12 @@ class CompiledSingleTask(_CompiledMixin, SingleTaskKernel):
     iteration (correctness-level execution)."""
 
     def __init__(self, definition, channel_bindings, hdl_modules,
-                 defines=None) -> None:
+                 defines=None, frontend: str = DEFAULT_FRONTEND,
+                 artifacts: Optional[KernelArtifacts] = None) -> None:
         super().__init__(name=definition.name,
                          pipeline=PipelineConfig(ii=1, max_inflight=1))
-        self._definition = definition
-        self._channel_bindings = channel_bindings
-        self._hdl_modules = hdl_modules
-        self._defines = dict(defines or {})
-        self._local_arrays = _collect_local_arrays(definition.body,
-                                                   self._defines)
-        self._site_table = build_site_table(definition.name, definition.body)
+        self._init_compiled(definition, channel_bindings, hdl_modules,
+                            defines, frontend, artifacts)
 
     def iteration_space(self, args) -> List[int]:
         return [0]
@@ -234,15 +410,11 @@ class CompiledNDRange(_CompiledMixin, NDRangeKernel):
     """
 
     def __init__(self, definition, channel_bindings, hdl_modules,
-                 defines=None) -> None:
+                 defines=None, frontend: str = DEFAULT_FRONTEND,
+                 artifacts: Optional[KernelArtifacts] = None) -> None:
         super().__init__(name=definition.name)
-        self._definition = definition
-        self._channel_bindings = channel_bindings
-        self._hdl_modules = hdl_modules
-        self._defines = dict(defines or {})
-        self._local_arrays = _collect_local_arrays(definition.body,
-                                                   self._defines)
-        self._site_table = build_site_table(definition.name, definition.body)
+        self._init_compiled(definition, channel_bindings, hdl_modules,
+                            defines, frontend, artifacts)
 
     def global_size(self, args) -> int:
         try:
@@ -260,17 +432,14 @@ class CompiledAutorun(_CompiledMixin, AutorunKernel):
     """A compiled autorun kernel (Listings 1, 5, 8)."""
 
     def __init__(self, definition, channel_bindings, hdl_modules,
-                 defines=None, phase: str = "early") -> None:
+                 defines=None, phase: str = "early",
+                 frontend: str = DEFAULT_FRONTEND,
+                 artifacts: Optional[KernelArtifacts] = None) -> None:
         super().__init__(name=definition.name,
                          num_compute_units=definition.num_compute_units,
                          phase=phase)
-        self._definition = definition
-        self._channel_bindings = channel_bindings
-        self._hdl_modules = hdl_modules
-        self._defines = dict(defines or {})
-        self._local_arrays = _collect_local_arrays(definition.body,
-                                                   self._defines)
-        self._site_table = build_site_table(definition.name, definition.body)
+        self._init_compiled(definition, channel_bindings, hdl_modules,
+                            defines, frontend, artifacts)
 
 
 class CompiledProgram:
@@ -280,15 +449,24 @@ class CompiledProgram:
                  hdl_library: Optional[HDLLibrary] = None,
                  autorun_args: Optional[Dict[str, Dict[str, Any]]] = None,
                  start_autorun: bool = True,
-                 defines: Optional[Dict[str, int]] = None) -> None:
+                 defines: Optional[Dict[str, int]] = None,
+                 frontend: str = DEFAULT_FRONTEND) -> None:
+        if frontend not in FRONTENDS:
+            raise FrontendError(
+                f"unknown frontend {frontend!r}; expected one of "
+                f"{', '.join(FRONTENDS)}")
         self.fabric = fabric
-        expanded, self.macros = preprocess(source)
-        self.ast = parse(expanded)
+        self.frontend = frontend
         self.defines = dict(defines or {})
         self._hdl_modules: Dict[str, Any] = {}
         if hdl_library is not None:
             for module in hdl_library.modules():
                 self._hdl_modules[module.name] = module
+
+        image = _load_image(source, self.defines,
+                            tuple(sorted(self._hdl_modules)), frontend)
+        self.ast = image.ast
+        self.macros = dict(image.macros)
 
         # Channel declarations (file scope) go into the fabric namespace.
         self._channel_bindings: Dict[str, Any] = {}
@@ -305,15 +483,22 @@ class CompiledProgram:
 
         self.kernels: Dict[str, Any] = {}
         for definition in self.ast.kernels:
-            if definition.is_autorun:
+            artifacts = image.artifacts[definition.name]
+            if artifacts.kind == "autorun":
                 kernel = CompiledAutorun(definition, self._channel_bindings,
-                                         self._hdl_modules, self.defines)
-            elif _uses_global_id(definition.body):
+                                         self._hdl_modules, self.defines,
+                                         frontend=frontend,
+                                         artifacts=artifacts)
+            elif artifacts.kind == "ndrange":
                 kernel = CompiledNDRange(definition, self._channel_bindings,
-                                         self._hdl_modules, self.defines)
+                                         self._hdl_modules, self.defines,
+                                         frontend=frontend,
+                                         artifacts=artifacts)
             else:
                 kernel = CompiledSingleTask(definition, self._channel_bindings,
-                                            self._hdl_modules, self.defines)
+                                            self._hdl_modules, self.defines,
+                                            frontend=frontend,
+                                            artifacts=artifacts)
             self.kernels[definition.name] = kernel
 
         if start_autorun:

@@ -14,7 +14,7 @@ from typing import Any, Dict, Generator, List, Optional
 from repro.channels.channel import Channel
 from repro.channels.registry import ChannelArray
 from repro.frontend import ast_nodes as ast
-from repro.frontend.lexer import FrontendError
+from repro.frontend.lexer import FrontendError, error_at
 from repro.memory.local_memory import LocalMemory
 from repro.pipeline import ops
 from repro.pipeline.context import KernelContext
@@ -61,7 +61,7 @@ class _Scope:
     def declare(self, name: str, value: Any) -> None:
         self.values[name] = value
 
-    def lookup(self, name: str) -> Any:
+    def lookup(self, name: str, node: Optional[ast.Node] = None) -> Any:
         scope: Optional[_Scope] = self
         while scope is not None:
             if name in scope.values:
@@ -69,16 +69,17 @@ class _Scope:
             scope = scope.parent
         if name in CONSTANTS:
             return CONSTANTS[name]
-        raise FrontendError(f"undefined identifier {name!r}")
+        raise error_at(f"undefined identifier {name!r}", node)
 
-    def assign(self, name: str, value: Any) -> None:
+    def assign(self, name: str, value: Any,
+               node: Optional[ast.Node] = None) -> None:
         scope: Optional[_Scope] = self
         while scope is not None:
             if name in scope.values:
                 scope.values[name] = value
                 return
             scope = scope.parent
-        raise FrontendError(f"assignment to undeclared identifier {name!r}")
+        raise error_at(f"assignment to undeclared identifier {name!r}", node)
 
 
 class Interpreter:
@@ -139,10 +140,10 @@ class Interpreter:
                     # Private array: registers/MLABs, zero-time access.
                     size = node.array_sizes[name]
                     if isinstance(size, str):
-                        size = scope.lookup(size)   # a define
+                        size = scope.lookup(size, node)   # a define
                     if not isinstance(size, int) or size < 1:
-                        raise FrontendError(
-                            f"array {name!r}: invalid size {size!r}")
+                        raise error_at(
+                            f"array {name!r}: invalid size {size!r}", node)
                     scope.declare(name, [0] * size)
                     continue
                 value = 0
@@ -173,7 +174,7 @@ class Interpreter:
         elif isinstance(node, ast.Continue):
             raise _Continue()
         else:
-            raise FrontendError(f"cannot execute {type(node).__name__}")
+            raise error_at(f"cannot execute {type(node).__name__}", node)
 
     def _cycle_boundary(self, ctx: KernelContext) -> Generator:
         """Autorun outermost loops advance one clock per iteration."""
@@ -254,7 +255,7 @@ class Interpreter:
         if isinstance(node, ast.IntLiteral):
             return node.value
         if isinstance(node, ast.Name):
-            return scope.lookup(node.ident)
+            return scope.lookup(node.ident, node)
         if isinstance(node, ast.Cast):
             value = yield from self._eval(node.operand, scope, ctx)
             return value
@@ -274,13 +275,13 @@ class Interpreter:
         if isinstance(node, ast.Assign):
             return (yield from self._eval_assign(node, scope, ctx))
         if isinstance(node, ast.IncDec):
-            current = scope.lookup(node.target.ident)
+            current = scope.lookup(node.target.ident, node)
             updated = current + (1 if node.op == "++" else -1)
-            scope.assign(node.target.ident, updated)
+            scope.assign(node.target.ident, updated, node)
             return current
         if isinstance(node, ast.Call):
             return (yield from self._eval_call(node, scope, ctx))
-        raise FrontendError(f"cannot evaluate {type(node).__name__}")
+        raise error_at(f"cannot evaluate {type(node).__name__}", node)
 
     def _eval_binary(self, node: ast.Binary, scope: _Scope,
                      ctx: KernelContext) -> Generator:
@@ -305,11 +306,11 @@ class Interpreter:
             return left * right
         if op == "/":
             if right == 0:
-                raise FrontendError("division by zero in kernel")
+                raise error_at("division by zero in kernel", node)
             return int(left / right)           # C truncation semantics
         if op == "%":
             if right == 0:
-                raise FrontendError("modulo by zero in kernel")
+                raise error_at("modulo by zero in kernel", node)
             return left - int(left / right) * right
         if op == "<":
             return 1 if left < right else 0
@@ -333,7 +334,7 @@ class Interpreter:
             return left << right
         if op == ">>":
             return left >> right
-        raise FrontendError(f"unknown operator {op!r}")
+        raise error_at(f"unknown operator {op!r}", node)
 
     def _eval_subscript(self, node: ast.Subscript, scope: _Scope,
                         ctx: KernelContext) -> Generator:
@@ -344,9 +345,9 @@ class Interpreter:
         if isinstance(base, list):
             # Private array: combinational register-file read.
             if not 0 <= index < len(base):
-                raise FrontendError(
+                raise error_at(
                     f"private array index {index} out of range "
-                    f"[0, {len(base)})")
+                    f"[0, {len(base)})", node)
             return base[index]
         if isinstance(base, LocalMemory):
             value = yield ops.LoadLocal(base, index, site=self._site(node))
@@ -354,9 +355,9 @@ class Interpreter:
         if isinstance(base, str):
             value = yield ctx.load(base, index, site=self._site(node))
             return value
-        raise FrontendError(
+        raise error_at(
             f"cannot index a {type(base).__name__} (expected a __global "
-            "buffer, __local/private array, or channel array)")
+            "buffer, __local/private array, or channel array)", node)
 
     def _eval_address_of(self, node: ast.AddressOf, scope: _Scope,
                          ctx: KernelContext) -> Generator:
@@ -368,9 +369,9 @@ class Interpreter:
             if isinstance(base, str):
                 store = ctx._instance.fabric.memory.buffer(base)
                 return store.address_of(index)
-        raise FrontendError(
+        raise error_at(
             "& is only supported on __global buffer elements (and as the "
-            "valid-flag argument of non-blocking channel reads)")
+            "valid-flag argument of non-blocking channel reads)", node)
 
     def _eval_assign(self, node: ast.Assign, scope: _Scope,
                      ctx: KernelContext) -> Generator:
@@ -378,18 +379,18 @@ class Interpreter:
         target = node.target
         if isinstance(target, ast.Name):
             if node.op != "=":
-                current = scope.lookup(target.ident)
+                current = scope.lookup(target.ident, target)
                 value = self._apply_compound(node.op, current, value)
-            scope.assign(target.ident, value)
+            scope.assign(target.ident, value, target)
             return value
         # Subscript target: private array or global buffer.
         base = yield from self._eval(target.base, scope, ctx)
         index = yield from self._eval(target.index, scope, ctx)
         if isinstance(base, list):
             if not 0 <= index < len(base):
-                raise FrontendError(
+                raise error_at(
                     f"private array index {index} out of range "
-                    f"[0, {len(base)})")
+                    f"[0, {len(base)})", node)
             if node.op != "=":
                 value = self._apply_compound(node.op, base[index], value)
             base[index] = value
@@ -402,9 +403,9 @@ class Interpreter:
             yield ops.StoreLocal(base, index, value, site=self._site(node))
             return value
         if not isinstance(base, str):
-            raise FrontendError(
+            raise error_at(
                 "can only store into __global buffers or __local/private "
-                "arrays")
+                "arrays", node)
         if node.op != "=":
             current = yield ctx.load(base, index, site=self._site(target))
             value = self._apply_compound(node.op, current, value)
@@ -446,25 +447,27 @@ class Interpreter:
             value = yield ctx.call(self.hdl_modules[name], *args,
                                    site=self._site(node))
             return value
-        raise FrontendError(f"unknown function {name!r}")
+        raise error_at(f"unknown function {name!r}", node)
 
     def _eval_channel_builtin(self, node: ast.Call, scope: _Scope,
                               ctx: KernelContext) -> Generator:
         name = node.func
         channel = yield from self._eval(node.args[0], scope, ctx)
         if not isinstance(channel, Channel):
-            raise FrontendError(
-                f"{name} expects a channel, got {type(channel).__name__}")
+            raise error_at(
+                f"{name} expects a channel, got {type(channel).__name__}",
+                node)
         if name.startswith("read_channel_nb"):
             value, valid = ctx.read_channel_nb(channel)
             if len(node.args) > 1:
                 flag = node.args[1]
                 if isinstance(flag, ast.AddressOf) and isinstance(
                         flag.target, ast.Name):
-                    scope.assign(flag.target.ident, 1 if valid else 0)
+                    scope.assign(flag.target.ident, 1 if valid else 0,
+                                 flag.target)
                 else:
-                    raise FrontendError(
-                        f"{name}: second argument must be &flag")
+                    raise error_at(
+                        f"{name}: second argument must be &flag", node)
             return value if valid else 0
         if name.startswith("write_channel_nb"):
             value = yield from self._eval(node.args[1], scope, ctx)

@@ -15,7 +15,34 @@ from repro.errors import ReproError
 
 
 class FrontendError(ReproError):
-    """Raised for lexical, syntactic, or semantic errors in kernel source."""
+    """Raised for lexical, syntactic, or semantic errors in kernel source.
+
+    When the offending source location is known the error carries it as
+    ``line``/``column`` (1-based) and the message is prefixed with
+    ``"line L:C: "`` so diagnostics name the spot in the ``.cl`` text.
+    Errors raised for programmatically built ASTs (no parser positions)
+    keep the bare message.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None,
+                 column: "int | None" = None) -> None:
+        if line:
+            location = f"line {line}:{column}" if column else f"line {line}"
+            message = f"{location}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+def error_at(message: str, node=None) -> FrontendError:
+    """Build a :class:`FrontendError` located at ``node``'s source position.
+
+    ``node`` is any AST node (or None); nodes created outside the parser
+    carry position 0, which suppresses the location prefix.
+    """
+    line = getattr(node, "line", 0)
+    column = getattr(node, "column", 0)
+    return FrontendError(message, line=line or None, column=column or None)
 
 
 #: Keywords recognized by the parser (everything else is an identifier).
@@ -69,8 +96,8 @@ def tokenize(source: str) -> List[Token]:
         text = match.group()
         column = position - line_start + 1
         if kind == "bad":
-            raise FrontendError(
-                f"line {line}: unexpected character {text!r}")
+            raise FrontendError(f"unexpected character {text!r}",
+                                line=line, column=column)
         if kind in ("ws", "comment"):
             newlines = text.count("\n")
             if newlines:

@@ -71,8 +71,16 @@ class Parser:
             token = self._current
             wanted = text or kind
             raise FrontendError(
-                f"line {token.line}: expected {wanted!r}, got {token.text!r}")
+                f"expected {wanted!r}, got {token.text!r}",
+                line=token.line, column=token.column)
         return self._advance()
+
+    @staticmethod
+    def _at(node: ast.Node, token: Token) -> ast.Node:
+        """Stamp ``node`` with ``token``'s source position."""
+        node.line = token.line
+        node.column = token.column
+        return node
 
     # -- top level ---------------------------------------------------------
 
@@ -108,7 +116,7 @@ class Parser:
         return attributes
 
     def _channel_decl(self) -> ast.ChannelDecl:
-        self._expect("keyword", "channel")
+        start = self._expect("keyword", "channel")
         type_name = self._expect("type").text
         name = self._expect("ident").text
         count: Optional[int] = None
@@ -117,17 +125,19 @@ class Parser:
             self._expect("op", "]")
         attributes = self._attributes()
         self._expect("op", ";")
-        return ast.ChannelDecl(type_name=type_name, name=name, count=count,
-                               attributes=attributes)
+        return self._at(ast.ChannelDecl(type_name=type_name, name=name,
+                                        count=count, attributes=attributes),
+                        start)
 
     def _kernel_def(self) -> ast.KernelDef:
+        start = self._current
         attributes = self._attributes()
         if not (self._match("keyword", "__kernel")
                 or self._match("keyword", "kernel")):
             token = self._current
             raise FrontendError(
-                f"line {token.line}: expected a kernel definition, got "
-                f"{token.text!r}")
+                f"expected a kernel definition, got {token.text!r}",
+                line=token.line, column=token.column)
         # Trailing attributes may also appear after the qualifier.
         attributes += self._attributes()
         self._expect("keyword", "void")
@@ -141,8 +151,9 @@ class Parser:
                     break
         self._expect("op", ")")
         body = self._block()
-        return ast.KernelDef(name=name, parameters=parameters, body=body,
-                             attributes=attributes)
+        return self._at(ast.KernelDef(name=name, parameters=parameters,
+                                      body=body, attributes=attributes),
+                        start)
 
     def _parameter(self) -> ast.Parameter:
         is_global = bool(self._match("keyword", "__global")
@@ -159,14 +170,15 @@ class Parser:
     # -- statements ----------------------------------------------------------
 
     def _block(self) -> ast.Block:
-        self._expect("op", "{")
+        start = self._expect("op", "{")
         statements: List[ast.Node] = []
         while not self._check("op", "}"):
             statements.append(self._statement())
         self._expect("op", "}")
-        return ast.Block(statements=statements)
+        return self._at(ast.Block(statements=statements), start)
 
     def _statement(self) -> ast.Node:
+        start = self._current
         if self._check("op", "{"):
             return self._block()
         if (self._check("keyword", "__local")
@@ -175,7 +187,7 @@ class Parser:
             qualifier = self._advance().text
             declaration = self._declaration()
             declaration.is_local = qualifier in ("__local", "local")
-            return declaration
+            return self._at(declaration, start)
         if self._check("type"):
             return self._declaration()
         if self._check("keyword", "if"):
@@ -189,18 +201,19 @@ class Parser:
         if self._match("keyword", "return"):
             value = None if self._check("op", ";") else self._expression()
             self._expect("op", ";")
-            return ast.Return(value=value)
+            return self._at(ast.Return(value=value), start)
         if self._match("keyword", "break"):
             self._expect("op", ";")
-            return ast.Break()
+            return self._at(ast.Break(), start)
         if self._match("keyword", "continue"):
             self._expect("op", ";")
-            return ast.Continue()
+            return self._at(ast.Continue(), start)
         expr = self._expression()
         self._expect("op", ";")
-        return ast.ExprStatement(expr=expr)
+        return self._at(ast.ExprStatement(expr=expr), start)
 
     def _declaration(self) -> ast.Declaration:
+        start = self._current
         type_name = self._expect("type").text
         names = []
         array_sizes = {}
@@ -220,11 +233,11 @@ class Parser:
             if not self._match("op", ","):
                 break
         self._expect("op", ";")
-        return ast.Declaration(type_name=type_name, names=names,
-                               array_sizes=array_sizes)
+        return self._at(ast.Declaration(type_name=type_name, names=names,
+                                        array_sizes=array_sizes), start)
 
     def _if(self) -> ast.If:
-        self._expect("keyword", "if")
+        start = self._expect("keyword", "if")
         self._expect("op", "(")
         condition = self._expression()
         self._expect("op", ")")
@@ -232,11 +245,11 @@ class Parser:
         else_branch = None
         if self._match("keyword", "else"):
             else_branch = self._statement()
-        return ast.If(condition=condition, then_branch=then_branch,
-                      else_branch=else_branch)
+        return self._at(ast.If(condition=condition, then_branch=then_branch,
+                               else_branch=else_branch), start)
 
     def _for(self) -> ast.For:
-        self._expect("keyword", "for")
+        start = self._expect("keyword", "for")
         self._expect("op", "(")
         init: Optional[ast.Node] = None
         if not self._check("op", ";"):
@@ -252,16 +265,18 @@ class Parser:
         step = None if self._check("op", ")") else self._expression()
         self._expect("op", ")")
         body = self._statement()
-        return ast.For(init=init, condition=condition, step=step, body=body)
+        return self._at(ast.For(init=init, condition=condition, step=step,
+                                body=body), start)
 
     def _switch(self) -> ast.Switch:
-        self._expect("keyword", "switch")
+        start = self._expect("keyword", "switch")
         self._expect("op", "(")
         subject = self._expression()
         self._expect("op", ")")
         self._expect("op", "{")
         cases: List[ast.SwitchCase] = []
         while not self._check("op", "}"):
+            case_start = self._current
             if self._match("keyword", "case"):
                 label: Optional[ast.Node] = self._expression()
             else:
@@ -273,17 +288,19 @@ class Parser:
                        or self._check("keyword", "default")
                        or self._check("op", "}")):
                 statements.append(self._statement())
-            cases.append(ast.SwitchCase(label=label, statements=statements))
+            cases.append(self._at(
+                ast.SwitchCase(label=label, statements=statements),
+                case_start))
         self._expect("op", "}")
-        return ast.Switch(subject=subject, cases=cases)
+        return self._at(ast.Switch(subject=subject, cases=cases), start)
 
     def _while(self) -> ast.While:
-        self._expect("keyword", "while")
+        start = self._expect("keyword", "while")
         self._expect("op", "(")
         condition = self._expression()
         self._expect("op", ")")
         body = self._statement()
-        return ast.While(condition=condition, body=body)
+        return self._at(ast.While(condition=condition, body=body), start)
 
     # -- expressions -----------------------------------------------------------
 
@@ -291,14 +308,16 @@ class Parser:
         return self._assignment()
 
     def _assignment(self) -> ast.Node:
+        start = self._current
         left = self._binary(0)
         if self._current.kind == "op" and self._current.text in _ASSIGN_OPS:
-            op = self._advance().text
+            token = self._advance()
             if not isinstance(left, (ast.Name, ast.Subscript)):
-                raise FrontendError(
-                    f"line {self._current.line}: invalid assignment target")
+                raise FrontendError("invalid assignment target",
+                                    line=token.line, column=token.column)
             value = self._assignment()
-            return ast.Assign(target=left, op=op, value=value)
+            return self._at(ast.Assign(target=left, op=token.text,
+                                       value=value), start)
         return left
 
     def _binary(self, min_precedence: int) -> ast.Node:
@@ -306,38 +325,43 @@ class Parser:
         while (self._current.kind == "op"
                and self._current.text in _PRECEDENCE
                and _PRECEDENCE[self._current.text] >= min_precedence):
-            op = self._advance().text
-            right = self._binary(_PRECEDENCE[op] + 1)
-            left = ast.Binary(op=op, left=left, right=right)
+            token = self._advance()
+            right = self._binary(_PRECEDENCE[token.text] + 1)
+            left = self._at(ast.Binary(op=token.text, left=left, right=right),
+                            token)
         return left
 
     def _unary(self) -> ast.Node:
         if self._current.kind == "op" and self._current.text in ("-", "!", "~"):
-            op = self._advance().text
-            return ast.Unary(op=op, operand=self._unary())
-        if self._match("op", "&"):
-            return ast.AddressOf(target=self._unary())
+            token = self._advance()
+            return self._at(ast.Unary(op=token.text, operand=self._unary()),
+                            token)
+        amp = self._match("op", "&")
+        if amp is not None:
+            return self._at(ast.AddressOf(target=self._unary()), amp)
         # Cast: "(" type [*] ")" unary
         if (self._check("op", "(") and self._peek().kind == "type"):
             offset = 2
             while self._peek(offset).kind == "op" and self._peek(offset).text == "*":
                 offset += 1
             if self._peek(offset).kind == "op" and self._peek(offset).text == ")":
-                self._advance()                      # "("
+                paren = self._advance()              # "("
                 type_name = self._advance().text     # type
                 while self._match("op", "*"):
                     pass
                 self._expect("op", ")")
-                return ast.Cast(type_name=type_name, operand=self._unary())
+                return self._at(ast.Cast(type_name=type_name,
+                                         operand=self._unary()), paren)
         return self._postfix()
 
     def _postfix(self) -> ast.Node:
+        start = self._current
         node = self._primary()
         while True:
             if self._match("op", "["):
                 index = self._expression()
                 self._expect("op", "]")
-                node = ast.Subscript(base=node, index=index)
+                node = self._at(ast.Subscript(base=node, index=index), start)
             elif self._check("op", "(") and isinstance(node, ast.Name):
                 self._advance()
                 args: List[ast.Node] = []
@@ -347,13 +371,14 @@ class Parser:
                         if not self._match("op", ","):
                             break
                 self._expect("op", ")")
-                node = ast.Call(func=node.ident, args=args)
+                node = self._at(ast.Call(func=node.ident, args=args), start)
             elif self._current.kind == "op" and self._current.text in ("++", "--"):
-                op = self._advance().text
+                token = self._advance()
                 if not isinstance(node, ast.Name):
                     raise FrontendError(
-                        f"line {self._current.line}: {op} needs a variable")
-                node = ast.IncDec(target=node, op=op)
+                        f"{token.text} needs a variable",
+                        line=token.line, column=token.column)
+                node = self._at(ast.IncDec(target=node, op=token.text), start)
             else:
                 return node
 
@@ -361,19 +386,21 @@ class Parser:
         token = self._current
         if token.kind == "number":
             self._advance()
-            return ast.IntLiteral(value=int(token.text, 0))
+            return self._at(ast.IntLiteral(value=int(token.text, 0)), token)
         if token.kind == "keyword" and token.text in ("true", "false"):
             self._advance()
-            return ast.IntLiteral(value=1 if token.text == "true" else 0)
+            return self._at(
+                ast.IntLiteral(value=1 if token.text == "true" else 0), token)
         if token.kind == "ident":
             self._advance()
-            return ast.Name(ident=token.text)
+            return self._at(ast.Name(ident=token.text), token)
         if self._match("op", "("):
             expr = self._expression()
             self._expect("op", ")")
             return expr
         raise FrontendError(
-            f"line {token.line}: unexpected token {token.text!r} in expression")
+            f"unexpected token {token.text!r} in expression",
+            line=token.line, column=token.column)
 
 
 def parse(source: str) -> ast.Program:

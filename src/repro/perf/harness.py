@@ -214,12 +214,14 @@ def bench_matvec_fig2_traced() -> Tuple[float, Dict]:
 def bench_listings_frontend() -> Tuple[float, Dict]:
     """Frontend path end to end: parse, compile, and run Listing 6.
 
-    Exercises the lexer/parser/compiler plus the AST interpreter (with
-    the precomputed site tables) and the instrumented matvec's autorun
-    service kernels — the compiled-listings analogue of
-    ``matvec_fig2``, so frontend regressions are gated like sim-core
-    ones. The reported value is simulated cycles per wall second over
-    ``rounds`` full compile+run cycles.
+    Exercises the lexer/parser/compiler plus the default closure-codegen
+    execution backend and the instrumented matvec's autorun service
+    kernels — the compiled-listings analogue of ``matvec_fig2``, so
+    frontend regressions are gated like sim-core ones. The reported
+    value is simulated cycles per wall second over ``rounds`` full
+    compile+run cycles (under the default ``frontend="codegen"``); the
+    detail also times one round under ``frontend="reference"`` and
+    records the codegen speedup over the tree-walking interpreter.
     """
     import numpy as np
 
@@ -228,11 +230,10 @@ def bench_listings_frontend() -> Tuple[float, Dict]:
     from repro.pipeline.fabric import Fabric
 
     n_rows, num, rounds = 6, 16, 3
-    total_cycles = 0
-    start = time.perf_counter()
-    for _ in range(rounds):
+
+    def one_round(frontend):
         fabric = Fabric(keep_lsu_samples=False)
-        program = compile_source(fabric, LISTING_6)
+        program = compile_source(fabric, LISTING_6, frontend=frontend)
         fabric.memory.allocate("X", n_rows * num).fill(np.arange(n_rows * num))
         fabric.memory.allocate("Y", num).fill(np.arange(num))
         fabric.memory.allocate("Z", n_rows)
@@ -241,15 +242,62 @@ def bench_listings_frontend() -> Tuple[float, Dict]:
         fabric.run_kernel(program.kernel("matvec"), {
             "x": "X", "y": "Y", "z": "Z", "info1": "I1", "info2": "I2",
             "info3": "I3", "n": n_rows, "num": num})
-        total_cycles += fabric.sim.now
+        cycles = fabric.sim.now
         fabric.stop_autorun()
+        return cycles
+
+    total_cycles = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        total_cycles += one_round("codegen")
     elapsed = time.perf_counter() - start
-    return total_cycles / elapsed, {
+
+    start = time.perf_counter()
+    reference_cycles = one_round("reference")
+    reference_s = time.perf_counter() - start
+    codegen_rate = total_cycles / elapsed
+    reference_rate = reference_cycles / reference_s if reference_s else 0.0
+    return codegen_rate, {
         "simulated_cycles": total_cycles,
         "elapsed_s": elapsed,
         "rounds": rounds,
         "n_rows": n_rows,
         "num": num,
+        "reference_sim_cycles_per_s": reference_rate,
+        "codegen_speedup_vs_reference": (
+            codegen_rate / reference_rate if reference_rate else 0.0),
+    }
+
+
+def bench_frontend_compile() -> Tuple[float, Dict]:
+    """Cold frontend compilation: preprocess, lex, parse, and closure-
+    codegen Listing 6 (program cache cleared every iteration, fresh
+    fabric each time so channel declaration is included).
+
+    Guards the compile path itself — slot allocation, constant folding,
+    and closure construction all happen here — so codegen-time
+    regressions can't hide behind the execution win.
+    """
+    from repro.frontend.compiler import (
+        compile_source,
+        program_cache_clear,
+        program_cache_info,
+    )
+    from repro.frontend.listings import LISTING_6
+    from repro.pipeline.fabric import Fabric
+
+    compiles = 60
+    start = time.perf_counter()
+    for _ in range(compiles):
+        program_cache_clear()
+        compile_source(Fabric(), LISTING_6)
+    elapsed = time.perf_counter() - start
+    info = program_cache_info()
+    return compiles / elapsed, {
+        "compiles": compiles,
+        "elapsed_s": elapsed,
+        "cache_hits": info["hits"],      # must be 0: every compile is cold
+        "source": "LISTING_6",
     }
 
 
@@ -340,6 +388,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[float, Dict]], str, int]] = {
     "matvec_fig2_traced": (bench_matvec_fig2_traced, "sim-cycles/s", 3),
     "matmul_end_to_end": (bench_matmul_end_to_end, "sim-cycles/s", 3),
     "listings_frontend": (bench_listings_frontend, "sim-cycles/s", 3),
+    "frontend_compile": (bench_frontend_compile, "programs/s", 3),
     "sweep_scalability_grid": (bench_sweep_scalability_grid, "points/s", 1),
 }
 
