@@ -30,15 +30,20 @@ from repro.experiments import (fig2, limitations, scalability, sec31,
                                sec51, sec52, table1)
 
 _EXPERIMENTS = {
-    "fig2": lambda args, hub: fig2.run(n=args.n, num=args.num,
-                                       trace=hub).render(),
+    "fig2": lambda args, hub: fig2.run(n=args.n, num=args.num, trace=hub,
+                                       executor=args.executor).render(),
     "table1": lambda args, hub: table1.run(depth=args.depth).render(),
     "sec31": lambda args, hub: sec31.run().render(),
-    "sec51": lambda args, hub: sec51.run(trace=hub).render(),
-    "sec52": lambda args, hub: sec52.run(trace=hub).render(),
+    "sec51": lambda args, hub: sec51.run(trace=hub,
+                                         executor=args.executor).render(),
+    "sec52": lambda args, hub: sec52.run(trace=hub,
+                                         executor=args.executor).render(),
     "limitations": lambda args, hub: limitations.run().render(),
     "scalability": lambda args, hub: scalability.run().render(),
 }
+
+#: Pipeline-engine tiers selectable from the command line.
+_EXECUTORS = ("fast", "reference", "batch")
 
 #: Experiments that publish into a trace hub when one is supplied.
 _TRACEABLE = ("fig2", "sec51", "sec52")
@@ -62,6 +67,9 @@ def _add_run_parser(sub) -> None:
     run.add_argument("--trace-out", metavar="FILE.ctb", default=None,
                      help="capture a columnar trace bundle; appends when the "
                           f"file exists (traceable: {', '.join(_TRACEABLE)})")
+    run.add_argument("--executor", choices=_EXECUTORS, default="fast",
+                     help="pipeline-engine tier for kernel launches "
+                          "(fig2/sec51/sec52; default: fast)")
 
 
 def _add_bench_parser(sub) -> None:
@@ -78,6 +86,12 @@ def _add_bench_parser(sub) -> None:
                        help="allowed relative regression (default 0.20)")
     bench.add_argument("--bench-only", action="append", metavar="NAME",
                        help="run only the named benchmark (repeatable)")
+    bench.add_argument("--filter", metavar="SUBSTRING", default=None,
+                       help="run only benchmarks whose name contains "
+                            "SUBSTRING (composes with --bench-only)")
+    bench.add_argument("--executor", choices=_EXECUTORS, default=None,
+                       help="pipeline-engine tier for executor-aware "
+                            "benchmarks (e.g. ndrange_batch)")
     bench.add_argument("--no-bench-check", action="store_true",
                        help="write the report without gating on the baseline")
     bench.add_argument("--update-baseline", action="store_true",
@@ -204,7 +218,8 @@ def _run_bench(args) -> int:
     if args.profile:
         try:
             paths = harness.profile_suite(names=args.bench_only,
-                                          out_dir=args.profile_dir)
+                                          out_dir=args.profile_dir,
+                                          name_filter=args.filter)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -213,7 +228,9 @@ def _run_bench(args) -> int:
         return 0
     try:
         report = harness.run_suite(names=args.bench_only,
-                                   workers=args.workers)
+                                   workers=args.workers,
+                                   name_filter=args.filter,
+                                   executor=args.executor)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -127,9 +127,17 @@ class GlobalMemory:
         row = address // self.config.row_bytes
         return row % self.config.banks, row
 
-    def _service_latency(self, address: int) -> int:
-        """Compute this access's latency and update bank state."""
-        now = self.sim.now
+    def _service_latency(self, address: int, now: Optional[int] = None) -> int:
+        """Compute this access's latency and update bank state.
+
+        ``now`` defaults to the simulator clock; the batch executor passes
+        the per-work-item issue cycle explicitly so a whole launch can be
+        timed in one pass while producing *exactly* the bank-state
+        trajectory the event-driven executors produce (same call order,
+        same observation times).
+        """
+        if now is None:
+            now = self.sim.now
         bank, row = self._bank_and_row(address)
         start = max(now, self._bank_ready[bank])
         if self._bank_open_row[bank] == row:
@@ -145,17 +153,19 @@ class GlobalMemory:
 
     # -- access API ----------------------------------------------------------
 
-    def load_timing(self, buffer_name: str, index: int) -> tuple:
+    def load_timing(self, buffer_name: str, index: int,
+                    now: Optional[int] = None) -> tuple:
         """Account one load; returns ``(backing_store, latency_cycles)``.
 
         Bank state, statistics, and traffic counters are updated at issue
         (as the controller accepts the request). The caller is responsible
         for reading the value *at completion time* — a posted store that
-        commits while the load is in flight must be observed.
+        commits while the load is in flight must be observed. ``now``
+        overrides the issue cycle for analytic (batch) callers.
         """
         store = self.buffer(buffer_name)
         store.check_index(index)
-        latency = self._service_latency(store.address_of(index))
+        latency = self._service_latency(store.address_of(index), now=now)
         self.stats.loads += 1
         self.stats.total_load_latency += latency
         self.stats.bytes_read += store.itemsize
@@ -183,21 +193,39 @@ class GlobalMemory:
         self.sim._schedule(event, delay=latency, priority=PRIORITY_NORMAL)
         return event
 
-    def store_timing(self, buffer_name: str, index: int, value: Any) -> int:
+    def store_timing(self, buffer_name: str, index: int, value: Any,
+                     now: Optional[int] = None) -> int:
         """Account one posted store; returns the pipeline-visible latency.
 
         The commit (value becoming visible in the backing store at the
         access's *full* latency) is scheduled here; the caller only needs
         an event at the returned posted latency to resume the pipeline.
+        ``now`` overrides the issue cycle for analytic (batch) callers;
+        the commit is then scheduled at the absolute cycle ``now + latency``
+        even though the simulator clock has not advanced there yet.
         """
         store = self.buffer(buffer_name)
         store.check_index(index)
-        latency = self._service_latency(store.address_of(index))
+        latency = self._service_latency(store.address_of(index), now=now)
         self.stats.stores += 1
         self.stats.bytes_written += store.itemsize
         traffic = self.traffic.setdefault(buffer_name, BufferTraffic())
         traffic.stores += 1
         traffic.bytes_written += store.itemsize
+        self.post_commit_at(store, index, value,
+                            self.sim.now if now is None else now, latency)
+        return min(latency, self.config.posted_write_latency)
+
+    def post_commit_at(self, store: BackingStore, index: int, value: Any,
+                       now: int, latency: int) -> None:
+        """Schedule one posted store's commit at absolute cycle
+        ``now + latency``.
+
+        The commit event writes the backing store and releases drain
+        waiters when it was the last one in flight. Statistics and bank
+        state are the caller's responsibility — this is the shared tail
+        of :meth:`store_timing` and the batch executor's inlined path.
+        """
         self._pending_commits += 1
 
         def _commit(done, _store=store, _index=index, _value=value):
@@ -211,8 +239,37 @@ class GlobalMemory:
         commit = Event(self.sim)
         commit._value = None
         commit.callbacks.append(_commit)
-        self.sim._schedule(commit, delay=latency, priority=PRIORITY_NORMAL)
-        return min(latency, self.config.posted_write_latency)
+        self.sim._schedule(commit, delay=(now - self.sim.now) + latency,
+                           priority=PRIORITY_NORMAL)
+
+    def post_commit_batch(self, commits: list, delay: int) -> None:
+        """Schedule many posted stores' commits as one flush event.
+
+        ``commits`` is a list of ``(store, index, value)`` applied in
+        order at ``now + delay`` (the batch executor passes the last
+        commit cycle of the launch). All entries stay pending until the
+        flush — equivalent to per-store events whenever no other process
+        can observe memory mid-launch, which the batch executor's
+        exclusivity gate guarantees.
+        """
+        count = len(commits)
+        if not count:
+            return
+        self._pending_commits += count
+
+        def _commit_all(done):
+            for store, index, value in commits:
+                store.write(index, value)
+            self._pending_commits -= count
+            if self._pending_commits == 0:
+                waiters, self._drain_waiters = self._drain_waiters, []
+                for waiter in waiters:
+                    waiter.succeed()
+
+        flush = Event(self.sim)
+        flush._value = None
+        flush.callbacks.append(_commit_all)
+        self.sim._schedule(flush, delay=delay, priority=PRIORITY_NORMAL)
 
     def store(self, buffer_name: str, index: int, value: Any) -> Event:
         """Posted store; the event triggers when the pipeline may proceed.

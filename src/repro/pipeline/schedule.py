@@ -53,6 +53,16 @@ def flattened(extents: Sequence[int]) -> Iterator[Tuple[int, ...]]:
             yield (index,) + rest
 
 
+def _flat_workitems(global_size: int) -> Iterator[Tuple[int, int]]:
+    """Degenerate nest (``trip_count == 1``): one tag per work-item.
+
+    Both policies coincide here; skipping the nested generator shaves a
+    frame per tag off the hottest NDRange launch path."""
+    _check_extent(global_size)
+    for gid in range(global_size):
+        yield (gid, 0)
+
+
 def ndrange_schedule(global_size: int, trip_count: int,
                      policy: str = "workitem-interleaved") -> Iterator[Tuple[int, int]]:
     """Issue order of an NDRange kernel whose work-items run a loop.
@@ -63,12 +73,15 @@ def ndrange_schedule(global_size: int, trip_count: int,
     * ``workitem-serial`` — a hypothetical serial schedule kept for
       ablation (it reproduces the single-task memory access pattern).
     """
+    if policy not in NDRANGE_POLICIES:
+        raise KernelBuildError(
+            f"unknown NDRange policy {policy!r}; expected one of "
+            f"{NDRANGE_POLICIES}")
+    if trip_count == 1:
+        return _flat_workitems(global_size)
     if policy == "workitem-interleaved":
         return i_major(global_size, trip_count)
-    if policy == "workitem-serial":
-        return k_major(global_size, trip_count)
-    raise KernelBuildError(
-        f"unknown NDRange policy {policy!r}; expected one of {NDRANGE_POLICIES}")
+    return k_major(global_size, trip_count)
 
 
 def _check_extents(outer: int, inner: int) -> None:

@@ -30,6 +30,27 @@ class TestParser:
         assert args.bench_only == ["event_throughput"]
         assert args.no_bench_check
 
+    def test_run_executor_flag(self):
+        args = build_parser().parse_args(["run", "fig2", "--executor", "batch"])
+        assert args.executor == "batch"
+        assert build_parser().parse_args(["run", "fig2"]).executor == "fast"
+
+    def test_run_executor_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig2", "--executor", "turbo"])
+
+    def test_bench_filter_and_executor_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--filter", "ndrange", "--executor", "batch"])
+        assert args.filter == "ndrange"
+        assert args.executor == "batch"
+        defaults = build_parser().parse_args(["bench"])
+        assert defaults.filter is None and defaults.executor is None
+
+    def test_bench_executor_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--executor", "turbo"])
+
     def test_trace_subcommands(self):
         args = build_parser().parse_args(
             ["trace", "export", "x.ctb", "--format", "chrome", "-o", "x.json"])
@@ -80,3 +101,34 @@ class TestMain:
     def test_sec52(self, capsys):
         assert main(["run", "sec52"]) == 0
         assert "bound violations" in capsys.readouterr().out
+
+    def test_fig2_batch_executor_output_matches_default(self, capsys):
+        assert main(["run", "fig2", "--n", "4", "--num", "6"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["run", "fig2", "--n", "4", "--num", "6",
+                     "--executor", "batch"]) == 0
+        assert capsys.readouterr().out == default_out
+
+
+class TestBenchSelection:
+    """--filter / --bench-only resolution in the perf harness."""
+
+    def test_select_by_exact_name(self):
+        from repro.perf.harness import select_benchmarks
+        assert select_benchmarks(names=["ndrange_batch"]) == ["ndrange_batch"]
+
+    def test_select_unknown_name_raises(self):
+        from repro.perf.harness import select_benchmarks
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            select_benchmarks(names=["nope"])
+
+    def test_select_by_substring_filter(self):
+        from repro.perf.harness import BENCHMARKS, select_benchmarks
+        names = select_benchmarks(name_filter="ndrange")
+        assert names == [n for n in BENCHMARKS if "ndrange" in n]
+        assert "ndrange_batch" in names
+
+    def test_filter_with_no_match_raises(self):
+        from repro.perf.harness import select_benchmarks
+        with pytest.raises(ValueError, match="no benchmark"):
+            select_benchmarks(name_filter="zzz-no-such")
