@@ -11,10 +11,17 @@
     repro-fpga trace info x.ctb             # segments/schemas of a bundle
     repro-fpga trace query x.ctb --schema latency.sample --agg latency --by site
     repro-fpga trace export x.ctb --format chrome -o x.json   # Perfetto
+    repro-fpga serve --port 7711 --workers 4   # emulation-as-a-service daemon
+    repro-fpga run fig2 --server 127.0.0.1:7711 --trace-out x.ctb
 
 ``sweep`` prints only the deterministic merged report on stdout (timing
 and worker telemetry go to stderr), so a ``--workers N`` run can be
 diffed byte-for-byte against a ``--serial`` run — CI does exactly that.
+The ``--server`` forms of ``run`` and ``trace info/query`` are thin
+clients over the daemon; their stdout (and any ``--trace-out`` bundle)
+is byte-identical to the in-process forms because both sides share one
+codepath (:mod:`repro.experiments.registry` and the ``format_trace_*``
+helpers below).
 
 The pre-subcommand form (``repro-fpga fig2``) keeps working through a
 back-compat shim that maps it onto ``run``.
@@ -24,32 +31,18 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.experiments import (fig2, limitations, scalability, sec31,
-                               sec51, sec52, table1)
+from repro.experiments import fig2, table1
+from repro.experiments import registry as _registry
 
-_EXPERIMENTS = {
-    "fig2": lambda args, hub: fig2.run(n=args.n, num=args.num, trace=hub,
-                                       executor=args.executor).render(),
-    "table1": lambda args, hub: table1.run(depth=args.depth).render(),
-    "sec31": lambda args, hub: sec31.run().render(),
-    "sec51": lambda args, hub: sec51.run(trace=hub,
-                                         executor=args.executor).render(),
-    "sec52": lambda args, hub: sec52.run(trace=hub,
-                                         executor=args.executor).render(),
-    "limitations": lambda args, hub: limitations.run().render(),
-    "scalability": lambda args, hub: scalability.run().render(),
-}
+#: Back-compat aliases; the registry is the single source of truth.
+_EXPERIMENTS = _registry.EXPERIMENTS
+_TRACEABLE = _registry.TRACEABLE
+_PAPER_ORDER = _registry.PAPER_ORDER
 
 #: Pipeline-engine tiers selectable from the command line.
 _EXECUTORS = ("fast", "reference", "batch")
-
-#: Experiments that publish into a trace hub when one is supplied.
-_TRACEABLE = ("fig2", "sec51", "sec52")
-
-_PAPER_ORDER = ("sec31", "fig2", "table1", "sec51", "sec52",
-                "limitations", "scalability")
 
 
 def _add_run_parser(sub) -> None:
@@ -70,6 +63,10 @@ def _add_run_parser(sub) -> None:
     run.add_argument("--executor", choices=_EXECUTORS, default="fast",
                      help="pipeline-engine tier for kernel launches "
                           "(fig2/sec51/sec52; default: fast)")
+    run.add_argument("--server", metavar="ADDR", default=None,
+                     help="run on an emulation daemon ('host:port' or "
+                          "'unix:/path') instead of in-process; output and "
+                          "--trace-out bundles are byte-identical")
 
 
 def _add_bench_parser(sub) -> None:
@@ -157,9 +154,15 @@ def _add_trace_parser(sub) -> None:
 
     info = tsub.add_parser("info", help="summarize segments and schemas")
     info.add_argument("store", help="path to a .ctb bundle")
+    info.add_argument("--server", metavar="ADDR", default=None,
+                      help="render on an emulation daemon (the path is "
+                           "read server-side); output is byte-identical")
 
     query = tsub.add_parser("query", help="filter/aggregate stored records")
     query.add_argument("store", help="path to a .ctb bundle")
+    query.add_argument("--server", metavar="ADDR", default=None,
+                       help="filter server-side on an emulation daemon; "
+                            "output is byte-identical")
     query.add_argument("--schema", default=None, help="restrict to one schema")
     query.add_argument("--kernel", action="append", default=None,
                        help="restrict to kernel(s) (repeatable)")
@@ -190,6 +193,32 @@ def _add_trace_parser(sub) -> None:
                         help="output file (default: stdout)")
 
 
+def _add_serve_parser(sub) -> None:
+    serve = sub.add_parser(
+        "serve", help="start the persistent emulation daemon",
+        description="Serve emulation-as-a-service: concurrent client "
+                    "sessions over newline-delimited JSON-RPC, with a "
+                    "shared program cache, a warm worker pool, and "
+                    "streamed .ctb trace delivery. Runs until a client "
+                    "sends server.shutdown (or Ctrl-C).")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="TCP port (default 0 = ephemeral; the bound "
+                            "address is printed on startup)")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="serve on a unix-domain socket instead of TCP")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for job execution (default: "
+                            "one per CPU; 0 = in-process execution)")
+    serve.add_argument("--session-queue-limit", type=int, default=8,
+                       metavar="N",
+                       help="per-session job-queue bound before 'busy' "
+                            "backpressure (default 8)")
+    serve.add_argument("--max-sessions", type=int, default=64, metavar="N",
+                       help="concurrent session limit (default 64)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests and docs)."""
     import repro
@@ -201,11 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version",
                         version=f"repro-fpga {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True,
-                                metavar="{run,bench,sweep,trace}")
+                                metavar="{run,bench,sweep,trace,serve}")
     _add_run_parser(sub)
     _add_bench_parser(sub)
     _add_sweep_parser(sub)
     _add_trace_parser(sub)
+    _add_serve_parser(sub)
     return parser
 
 
@@ -259,7 +289,15 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _experiment_params(args) -> Dict[str, Any]:
+    """Map run-subcommand flags to registry experiment params."""
+    return {"n": args.n, "num": args.num, "depth": args.depth,
+            "executor": args.executor}
+
+
 def _run_experiments(args) -> int:
+    if args.server:
+        return _run_experiments_remote(args)
     hub = None
     sink = None
     if args.trace_out:
@@ -268,18 +306,60 @@ def _run_experiments(args) -> int:
         hub = TraceHub()
         sink = hub.attach(ColumnarSink(args.trace_out, hub.registry))
     names = _PAPER_ORDER if args.experiment == "all" else (args.experiment,)
+    params = _experiment_params(args)
     for name in names:
         this_hub = hub if name in _TRACEABLE else None
         if args.trace_out and name not in _TRACEABLE and len(names) == 1:
             print(f"note: {name} does not publish trace records; "
                   f"{args.trace_out} will be empty", file=sys.stderr)
-        print(_EXPERIMENTS[name](args, this_hub))
+        print(_registry.run_experiment(name, hub=this_hub, **params))
         print()
     if hub is not None:
         hub.close()
         print(f"trace bundle: {args.trace_out} "
               f"({sink.rows_written} records, "
               f"{len(hub.counts)} schemas)")
+    return 0
+
+
+def _run_experiments_remote(args) -> int:
+    """``run --server``: the same experiments, executed on a daemon.
+
+    stdout (and any ``--trace-out`` bundle) is byte-identical to the
+    in-process form: the server renders through the same registry, and
+    the streamed trace segments are regrouped exactly the way a local
+    ``ColumnarSink`` would have flushed them.
+    """
+    from repro.server.client import Client
+    from repro.server.protocol import ServerError
+
+    names = _PAPER_ORDER if args.experiment == "all" else (args.experiment,)
+    params = _experiment_params(args)
+    try:
+        with Client(args.server) as client:
+            client.open_session()
+            if args.trace_out:
+                client.subscribe()
+            for name in names:
+                traceable = name in _TRACEABLE
+                if args.trace_out and not traceable and len(names) == 1:
+                    print(f"note: {name} does not publish trace records; "
+                          f"{args.trace_out} will be empty", file=sys.stderr)
+                result = client.run_experiment(
+                    name, params=params,
+                    trace=bool(args.trace_out) and traceable)
+                print(result["rendered"])
+                print()
+            if args.trace_out:
+                rows = client.save_trace(args.trace_out)
+                schemas = {segment.schema for segment in client.segments}
+                print(f"trace bundle: {args.trace_out} "
+                      f"({rows} records, "
+                      f"{len(schemas)} schemas)")
+            client.close_session()
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -315,10 +395,93 @@ def _run_sweep_cmd(args) -> int:
     return status
 
 
+def format_trace_info(store, path: str) -> List[str]:
+    """Render ``trace info`` output lines (shared with the server)."""
+    lines = [f"{path}: {len(store.segments)} segment(s), "
+             f"{store.total_rows()} record(s)",
+             f"{'schema':28s} {'rows':>8s} {'ts range':>20s} {'strings':>8s}"]
+    for segment in store.segments:
+        span = (f"{segment.min_ts}..{segment.max_ts}"
+                if segment.rows else "-")
+        lines.append(f"{segment.schema:28s} {segment.rows:8d} {span:>20s} "
+                     f"{len(segment.strings):8d}")
+    return lines
+
+
+def format_trace_query(store, opts: Dict[str, Any]) -> List[str]:
+    """Render ``trace query`` output lines (shared with the server).
+
+    ``opts`` mirrors the query flags: schema, kernel, cu, site, since,
+    until, limit, agg, by. Bad aggregations raise ``ReproError`` — the
+    caller maps that to exit status 2 / a ``bad_request`` error.
+    """
+    from repro.trace.query import TraceQuery
+
+    def as_list(value):
+        return value if isinstance(value, (list, tuple)) else [value]
+
+    query = TraceQuery(store)
+    if opts.get("schema"):
+        query.schema(opts["schema"])
+    if opts.get("kernel"):
+        query.kernel(*as_list(opts["kernel"]))
+    if opts.get("cu"):
+        query.cu(*as_list(opts["cu"]))
+    if opts.get("site"):
+        query.site(*as_list(opts["site"]))
+    if opts.get("since") is not None or opts.get("until") is not None:
+        query.between(opts.get("since"), opts.get("until"))
+    if opts.get("agg"):
+        result = query.aggregate(opts["agg"], by=opts.get("by"))
+        if not isinstance(result, dict):
+            result = {"(all)": result}
+        lines = [f"{'group':36s} {'count':>8s} {'min':>10s} "
+                 f"{'max':>10s} {'mean':>12s}"]
+        for key in sorted(result, key=str):
+            agg = result[key]
+            lines.append(f"{str(key):36s} {agg.count:8d} {agg.minimum:10d} "
+                         f"{agg.maximum:10d} {agg.mean:12.2f}")
+        return lines
+    if opts.get("limit"):
+        query.limit(opts["limit"])
+    rows = query.rows()
+    return [str(row) for row in rows] + [f"({len(rows)} row(s))"]
+
+
+def _trace_query_opts(args) -> Dict[str, Any]:
+    return {"schema": args.schema, "kernel": args.kernel, "cu": args.cu,
+            "site": args.site, "since": args.since, "until": args.until,
+            "limit": args.limit, "agg": args.agg, "by": args.by}
+
+
+def _run_trace_remote(args) -> int:
+    """``trace info/query --server``: render on the daemon, print lines."""
+    from repro.server.client import Client
+    from repro.server.protocol import ServerError
+
+    if args.trace_command == "info":
+        method, params = "trace.store_info", {"path": args.store}
+    else:
+        params = {"path": args.store, **_trace_query_opts(args)}
+        method = "trace.store_query"
+    try:
+        with Client(args.server) as client:
+            result = client.call(method, params)
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in result["lines"]:
+        print(line)
+    return 0
+
+
 def _run_trace_tool(args) -> int:
     from repro.errors import ReproError
+
+    if getattr(args, "server", None):
+        return _run_trace_remote(args)
+
     from repro.trace.columnar import ColumnarStore
-    from repro.trace.query import TraceQuery
 
     try:
         store = ColumnarStore.load(args.store)
@@ -327,49 +490,18 @@ def _run_trace_tool(args) -> int:
         return 2
 
     if args.trace_command == "info":
-        print(f"{args.store}: {len(store.segments)} segment(s), "
-              f"{store.total_rows()} record(s)")
-        print(f"{'schema':28s} {'rows':>8s} {'ts range':>20s} {'strings':>8s}")
-        for segment in store.segments:
-            span = (f"{segment.min_ts}..{segment.max_ts}"
-                    if segment.rows else "-")
-            print(f"{segment.schema:28s} {segment.rows:8d} {span:>20s} "
-                  f"{len(segment.strings):8d}")
+        for line in format_trace_info(store, args.store):
+            print(line)
         return 0
 
     if args.trace_command == "query":
-        query = TraceQuery(store)
-        if args.schema:
-            query.schema(args.schema)
-        if args.kernel:
-            query.kernel(*args.kernel)
-        if args.cu:
-            query.cu(*args.cu)
-        if args.site:
-            query.site(*args.site)
-        if args.since is not None or args.until is not None:
-            query.between(args.since, args.until)
         try:
-            if args.agg:
-                result = query.aggregate(args.agg, by=args.by)
-                if not isinstance(result, dict):
-                    result = {"(all)": result}
-                print(f"{'group':36s} {'count':>8s} {'min':>10s} "
-                      f"{'max':>10s} {'mean':>12s}")
-                for key in sorted(result, key=str):
-                    agg = result[key]
-                    print(f"{str(key):36s} {agg.count:8d} {agg.minimum:10d} "
-                          f"{agg.maximum:10d} {agg.mean:12.2f}")
-                return 0
-            if args.limit:
-                query.limit(args.limit)
-            rows = query.rows()
+            lines = format_trace_query(store, _trace_query_opts(args))
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        for row in rows:
-            print(row)
-        print(f"({len(rows)} row(s))")
+        for line in lines:
+            print(line)
         return 0
 
     # export
@@ -412,6 +544,34 @@ def _run_trace_tool(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    import asyncio
+
+    from repro.server.daemon import ReproServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host, port=args.port, socket_path=args.socket,
+        workers=args.workers,
+        session_queue_limit=args.session_queue_limit,
+        max_sessions=args.max_sessions)
+    server = ReproServer(config)
+    server.warm()
+
+    async def _serve() -> None:
+        address = await server.start()
+        workers = 0 if server.pool is None else server.pool.workers
+        mode = "in-process" if server.pool is None else f"{workers} worker(s)"
+        print(f"repro-fpga server listening on {address} ({mode})",
+              flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
 def _shim_legacy_argv(argv: List[str]) -> List[str]:
     """Map the pre-subcommand form onto ``run`` (back-compat)."""
     if argv and argv[0] in set(_EXPERIMENTS) | {"all"}:
@@ -429,6 +589,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep_cmd(args)
     if args.command == "trace":
         return _run_trace_tool(args)
+    if args.command == "serve":
+        return _run_serve(args)
     return _run_experiments(args)
 
 

@@ -18,6 +18,18 @@ def _next_id() -> int:
     return _COUNTER[0]
 
 
+def reset_node_ids() -> None:
+    """Restart node-id assignment from 1.
+
+    :func:`repro.frontend.parser.parse` calls this at entry, making node
+    ids — and therefore the ``"<kernel>:n<id>"`` site labels derived from
+    them — a pure function of the source text. That determinism is what
+    lets the emulation server run a compile in any worker process and
+    still produce trace records byte-identical to an in-process run.
+    """
+    _COUNTER[0] = 0
+
+
 @dataclass
 class Node:
     """Base AST node."""

@@ -33,6 +33,7 @@ entirely. Inspect with :func:`program_cache_info`; reset with
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
@@ -296,48 +297,68 @@ def _build_image(source: str, defines: Dict[str, Any], hdl_names,
 
 
 #: Process-wide LRU of program images, keyed by source + compile options.
+#: Guarded by ``_CACHE_LOCK``: the emulation server's sessions (and its
+#: inline executor threads) compile concurrently against one process-wide
+#: cache, so lookup+insert must be atomic — N concurrent compiles of the
+#: same source must cost exactly one miss.
 _PROGRAM_CACHE: "OrderedDict[Any, _ProgramImage]" = OrderedDict()
 _PROGRAM_CACHE_MAXSIZE = 128
+_CACHE_LOCK = threading.RLock()
 _cache_hits = 0
 _cache_misses = 0
+_cache_evictions = 0
 
 
 def _load_image(source: str, defines: Dict[str, Any], hdl_names,
                 frontend: str) -> _ProgramImage:
-    global _cache_hits, _cache_misses
-    try:
-        key = (source, tuple(sorted(defines.items())),
-               tuple(sorted(hdl_names)), frontend)
-        hash(key)
-    except TypeError:
-        # Unhashable options (exotic define values): compile uncached.
+    global _cache_hits, _cache_misses, _cache_evictions
+    with _CACHE_LOCK:
+        try:
+            key = (source, tuple(sorted(defines.items())),
+                   tuple(sorted(hdl_names)), frontend)
+            hash(key)
+        except TypeError:
+            # Unhashable options (exotic define values): compile uncached.
+            _cache_misses += 1
+            return _build_image(source, defines, hdl_names, frontend)
+        image = _PROGRAM_CACHE.get(key)
+        if image is not None:
+            _cache_hits += 1
+            _PROGRAM_CACHE.move_to_end(key)
+            return image
+        # Build under the lock: a second thread asking for the same key
+        # must block and then hit, not compile the image twice.
         _cache_misses += 1
-        return _build_image(source, defines, hdl_names, frontend)
-    image = _PROGRAM_CACHE.get(key)
-    if image is not None:
-        _cache_hits += 1
-        _PROGRAM_CACHE.move_to_end(key)
+        image = _build_image(source, defines, hdl_names, frontend)
+        _PROGRAM_CACHE[key] = image
+        if len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAXSIZE:
+            _PROGRAM_CACHE.popitem(last=False)
+            _cache_evictions += 1
         return image
-    _cache_misses += 1
-    image = _build_image(source, defines, hdl_names, frontend)
-    _PROGRAM_CACHE[key] = image
-    if len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAXSIZE:
-        _PROGRAM_CACHE.popitem(last=False)
-    return image
 
 
 def program_cache_info() -> Dict[str, int]:
-    """Program-image cache statistics (for tests and capacity tuning)."""
-    return {"hits": _cache_hits, "misses": _cache_misses,
-            "size": len(_PROGRAM_CACHE), "maxsize": _PROGRAM_CACHE_MAXSIZE}
+    """Program-image cache statistics (for tests and capacity tuning).
+
+    ``hits``/``misses``/``evictions`` are monotonic counters (reset only
+    by :func:`program_cache_clear`); the snapshot is taken atomically
+    under the cache lock, so concurrent compiles never yield torn reads.
+    """
+    with _CACHE_LOCK:
+        return {"hits": _cache_hits, "misses": _cache_misses,
+                "evictions": _cache_evictions,
+                "size": len(_PROGRAM_CACHE),
+                "maxsize": _PROGRAM_CACHE_MAXSIZE}
 
 
 def program_cache_clear() -> None:
     """Drop all cached program images and reset the hit/miss counters."""
-    global _cache_hits, _cache_misses
-    _PROGRAM_CACHE.clear()
-    _cache_hits = 0
-    _cache_misses = 0
+    global _cache_hits, _cache_misses, _cache_evictions
+    with _CACHE_LOCK:
+        _PROGRAM_CACHE.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+        _cache_evictions = 0
 
 
 # -- compiled kernel objects -------------------------------------------------

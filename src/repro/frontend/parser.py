@@ -404,5 +404,12 @@ class Parser:
 
 
 def parse(source: str) -> ast.Program:
-    """Parse a program (channel declarations + kernel definitions)."""
+    """Parse a program (channel declarations + kernel definitions).
+
+    Node ids restart from 1 for every parse, so the ids (and the site
+    labels built from them) depend only on the source text — identical
+    across processes, which the emulation server's determinism contract
+    relies on.
+    """
+    ast.reset_node_ids()
     return Parser(source).parse_program()

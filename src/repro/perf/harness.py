@@ -487,6 +487,79 @@ def bench_ndrange_batch(executor: str = "batch") -> Tuple[float, Dict]:
     }
 
 
+def bench_server_warm_run(cold_runs: int = 3,
+                          warm_runs: int = 6) -> Tuple[float, Dict]:
+    """Warm emulation daemon vs cold CLI invocations (the serve payoff).
+
+    The cold leg runs ``repro-fpga run fig2`` as fresh subprocesses —
+    each pays interpreter start, imports, and a cold program cache. The
+    warm leg runs the same experiment through a persistent in-thread
+    daemon over one client session. The reported value is warm runs per
+    wall second; the detail records both per-run times and the speedup,
+    which the acceptance test gates at >= 3x (the daemon's whole point
+    is amortizing startup across requests).
+
+    Runs once per suite invocation: the cold leg alone costs a few
+    seconds of subprocess startup by design.
+    """
+    import os
+    import subprocess
+    import sys
+
+    import repro
+    from repro.server.client import Client
+    from repro.server.daemon import ServerConfig, start_server_thread
+
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    argv = [sys.executable, "-m", "repro", "run", "fig2",
+            "--n", "6", "--num", "9"]
+
+    start = time.perf_counter()
+    cold_out = None
+    for _ in range(cold_runs):
+        proc = subprocess.run(argv, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise AssertionError(
+                f"cold CLI run failed ({proc.returncode}): {proc.stderr}")
+        cold_out = proc.stdout
+    cold_s = time.perf_counter() - start
+
+    params = {"n": 6, "num": 9}
+    handle = start_server_thread(ServerConfig(workers=0))
+    try:
+        with Client(handle.address) as client:
+            client.open_session()
+            client.run_experiment("fig2", params=params)  # prime the cache
+            start = time.perf_counter()
+            warm_out = None
+            for _ in range(warm_runs):
+                warm_out = client.run_experiment("fig2",
+                                                 params=params)["rendered"]
+            warm_s = time.perf_counter() - start
+            client.close_session()
+    finally:
+        handle.stop()
+
+    if warm_out + "\n\n" != cold_out:
+        raise AssertionError(
+            "daemon run is not byte-identical to the cold CLI run")
+    cold_per_run = cold_s / cold_runs
+    warm_per_run = warm_s / warm_runs
+    return warm_runs / warm_s, {
+        "cold_runs": cold_runs,
+        "warm_runs": warm_runs,
+        "elapsed_s": warm_s,
+        "cold_s_per_run": cold_per_run,
+        "warm_s_per_run": warm_per_run,
+        "speedup_vs_cold": cold_per_run / warm_per_run if warm_per_run else 0.0,
+        "output_identical": True,
+    }
+
+
 def _host_cpus() -> int:
     import os
 
@@ -509,6 +582,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[float, Dict]], str, int]] = {
     "frontend_compile": (bench_frontend_compile, "programs/s", 3),
     "ndrange_batch": (bench_ndrange_batch, "sim-cycles/s", 3),
     "sweep_scalability_grid": (bench_sweep_scalability_grid, "points/s", 1),
+    "server_warm_run": (bench_server_warm_run, "runs/s", 1),
 }
 
 #: Benchmarks that accept an ``executor=`` keyword (pipeline-engine tier).
@@ -620,7 +694,7 @@ def run_suite(names: Optional[List[str]] = None,
 
 #: Benchmarks that drive their own worker pool — kept in the parent when
 #: repeats are sharded, so pools never nest.
-_SELF_PARALLEL = frozenset({"sweep_scalability_grid"})
+_SELF_PARALLEL = frozenset({"sweep_scalability_grid", "server_warm_run"})
 
 
 def _run_repeats_sharded(selected: List[str], workers: Optional[int],

@@ -1,0 +1,27 @@
+"""Emulation-as-a-service: the persistent compile/run/trace daemon.
+
+``repro-fpga serve`` starts a long-lived asyncio daemon speaking
+newline-delimited JSON-RPC over TCP (or a unix socket). Clients open
+isolated sessions, compile programs against the shared process-wide
+program cache, schedule kernel launches onto a warm
+:class:`repro.sweep.runner.WorkerPool`, and receive dynamic-profiling
+trace records streamed back incrementally as ``.ctb`` segments —
+instead of paying full interpreter/compile/fabric setup per run through
+the one-shot CLI.
+
+See ``docs/SERVER.md`` for the protocol reference and
+:class:`repro.server.client.Client` for the synchronous client.
+"""
+
+from repro.server.daemon import ReproServer, ServerConfig, start_server_thread
+from repro.server.client import Client
+from repro.server.protocol import ServerError, parse_address
+
+__all__ = [
+    "Client",
+    "ReproServer",
+    "ServerConfig",
+    "ServerError",
+    "parse_address",
+    "start_server_thread",
+]

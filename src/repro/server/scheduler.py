@@ -1,0 +1,130 @@
+"""Job admission and execution: bounded queues over the warm worker pool.
+
+Admission is synchronous inside the event loop (so the gauges can't
+race): a job is admitted only when both its session's queue and the
+server-wide in-flight budget have room — otherwise the caller gets a
+structured ``busy`` error carrying the observed queue depths, which is
+the protocol's backpressure signal (clients retry with their own
+policy instead of silently piling work onto the daemon).
+
+Execution goes to the warm :class:`~repro.sweep.runner.WorkerPool` when
+the server has one (``--workers N``), or to the event loop's default
+thread executor in inline mode (``--workers 0``). A pool whose worker
+died (``BrokenProcessPool``) is rebuilt via
+:meth:`~repro.sweep.runner.WorkerPool.ensure_healthy` and the job is
+retried once — the sweep runner's fault-handling contract, applied to
+interactive traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, Optional
+
+from repro.server import jobs, protocol
+from repro.server.protocol import ServerError
+from repro.server.session import Session
+
+
+class JobScheduler:
+    """Admission control + dispatch for session jobs."""
+
+    def __init__(self, pool: Optional[Any], max_inflight: int) -> None:
+        self.pool = pool                  # None => inline thread execution
+        self.max_inflight = max_inflight
+        self.inflight = 0
+        self.completed = 0
+        self.failed = 0
+        self.busy_rejections = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, session: Session) -> None:
+        """Reserve one slot or raise the structured ``busy`` error."""
+        if session.active_jobs >= session.quota.queue_limit:
+            session.stats.jobs_rejected += 1
+            self.busy_rejections += 1
+            raise ServerError(protocol.E_BUSY, (
+                f"session {session.session_id} queue is full "
+                f"({session.active_jobs}/{session.quota.queue_limit})"), {
+                    "scope": "session",
+                    "queue_depth": session.active_jobs,
+                    "queue_limit": session.quota.queue_limit,
+                })
+        if self.inflight >= self.max_inflight:
+            session.stats.jobs_rejected += 1
+            self.busy_rejections += 1
+            raise ServerError(protocol.E_BUSY, (
+                f"server is saturated ({self.inflight}/{self.max_inflight} "
+                "jobs in flight)"), {
+                    "scope": "server",
+                    "queue_depth": self.inflight,
+                    "queue_limit": self.max_inflight,
+                })
+        session.active_jobs += 1
+        self.inflight += 1
+
+    def release(self, session: Session, ok: bool) -> None:
+        session.active_jobs -= 1
+        self.inflight -= 1
+        if ok:
+            self.completed += 1
+            session.stats.jobs_completed += 1
+        else:
+            self.failed += 1
+            session.stats.jobs_failed += 1
+
+    # -- execution ---------------------------------------------------------
+
+    async def execute(self, session: Session, kind: str,
+                      payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one admitted job to completion and release its slot.
+
+        Returns the job's result dict; a structured ``{"error": ...}``
+        result is raised as the corresponding :class:`ServerError`.
+        """
+        ok = False
+        try:
+            result = await self._dispatch(kind, payload)
+            error = result.get("error") if isinstance(result, dict) else None
+            if error is not None:
+                raise ServerError(error.get("code", protocol.E_INTERNAL),
+                                  error.get("message", "job failed"),
+                                  error.get("data"))
+            ok = True
+            return result
+        finally:
+            self.release(session, ok)
+
+    async def _dispatch(self, kind: str,
+                        payload: Dict[str, Any]) -> Dict[str, Any]:
+        if kind not in jobs.JOB_FUNCTIONS:
+            raise ServerError(protocol.E_BAD_REQUEST,
+                              f"unknown job kind {kind!r}")
+        loop = asyncio.get_running_loop()
+        if self.pool is None:
+            return await loop.run_in_executor(
+                None, lambda: jobs.run_job(kind, payload))
+        try:
+            future = self.pool.submit_call(jobs.JOB_FUNCTIONS[kind], payload)
+            return await asyncio.wrap_future(future)
+        except BrokenProcessPool:
+            # A worker died out from under the job (hard crash, not a
+            # Python exception — those come back as structured errors).
+            # Rebuild the pool and retry exactly once.
+            await loop.run_in_executor(None, self.pool.ensure_healthy)
+            future = self.pool.submit_call(jobs.JOB_FUNCTIONS[kind], payload)
+            return await asyncio.wrap_future(future)
+
+    def describe(self) -> Dict[str, Any]:
+        """The scheduler block of ``server.stats``."""
+        return {
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "completed": self.completed,
+            "failed": self.failed,
+            "busy_rejections": self.busy_rejections,
+            "mode": "inline" if self.pool is None else "pool",
+            "workers": 0 if self.pool is None else self.pool.workers,
+        }

@@ -118,6 +118,20 @@ def _execute_chunk(points: Sequence[SweepPoint],
     return [_execute_point(point, trace_kwarg) for point in points]
 
 
+def _worker_ping() -> int:
+    """Trivial worker task: proves the process is alive (returns its pid)."""
+    return os.getpid()
+
+
+def _call_by_path(path: str, kwargs: Dict[str, Any]) -> Any:
+    """Worker entry point for :meth:`WorkerPool.submit_call`.
+
+    Resolves the callable lazily inside the worker (same contract as
+    sweep points) so workers only import what their jobs actually touch.
+    """
+    return resolve_callable(path)(**kwargs)
+
+
 # -- the warm pool -----------------------------------------------------------
 
 class WorkerPool:
@@ -154,10 +168,59 @@ class WorkerPool:
                 mp_context=multiprocessing.get_context(self.start_method))
         return self._executor
 
+    @property
+    def started(self) -> bool:
+        """True once the underlying executor exists (post first submit)."""
+        return self._executor is not None
+
     def submit(self, chunk: Sequence[SweepPoint],
                trace_kwarg: Optional[str]):
         """Submit one chunk; returns the future of its result list."""
         return self._ensure().submit(_execute_chunk, list(chunk), trace_kwarg)
+
+    def submit_call(self, func_path: str,
+                    kwargs: Optional[Dict[str, Any]] = None):
+        """Submit one ``"module:callable"`` invocation; returns its future.
+
+        The generic sibling of :meth:`submit` for non-sweep workloads
+        (the emulation server schedules kernel/experiment jobs this way);
+        the callable resolves lazily inside the worker.
+        """
+        return self._ensure().submit(_call_by_path, func_path,
+                                     dict(kwargs or {}))
+
+    def warm_start(self, timeout: Optional[float] = 30.0) -> List[int]:
+        """Pre-fork the worker processes before the first real submission.
+
+        Submits one trivial ping per configured worker and waits for all
+        of them, so a long-lived caller (the emulation server at startup)
+        pays process creation once, up front, instead of on the first
+        user request. Returns the pids that answered (fewer distinct pids
+        than ``workers`` just means the pool recycled an idle process —
+        every worker the executor decided to spawn is warm either way).
+        """
+        futures = [self._ensure().submit(_worker_ping)
+                   for _ in range(self.workers)]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def ensure_healthy(self, timeout: Optional[float] = 30.0) -> bool:
+        """Idle-worker health check; rebuilds a dead pool in place.
+
+        Pings the executor and, if the pool is broken (a worker was
+        OOM-killed while idle, say) or was never started, rebuilds it and
+        pings again — so the next real submission lands on a live pool
+        instead of surfacing ``BrokenProcessPool`` to a user request.
+        Returns True when the existing pool was already healthy, False
+        when it had to be (re)built.
+        """
+        if self._executor is not None:
+            try:
+                self._ensure().submit(_worker_ping).result(timeout=timeout)
+                return True
+            except Exception:  # noqa: BLE001 - any failure means rebuild
+                self.rebuild()
+        self._ensure().submit(_worker_ping).result(timeout=timeout)
+        return False
 
     def rebuild(self) -> None:
         """Tear down a broken executor so the next submit starts fresh."""

@@ -132,3 +132,14 @@ class TestBenchSelection:
         from repro.perf.harness import select_benchmarks
         with pytest.raises(ValueError, match="no benchmark"):
             select_benchmarks(name_filter="zzz-no-such")
+
+    def test_bench_filter_no_match_exits_nonzero_with_names(self, capsys):
+        """CLI pin: a zero-match --filter fails fast, listing the names."""
+        from repro.perf.harness import BENCHMARKS
+
+        assert main(["bench", "--filter", "zzz-no-such",
+                     "--no-bench-check"]) == 2
+        err = capsys.readouterr().err
+        assert "matches no benchmark" in err
+        for name in BENCHMARKS:
+            assert name in err

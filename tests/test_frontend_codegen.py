@@ -111,6 +111,39 @@ class TestProgramCache:
     def test_info_reports_maxsize(self):
         assert program_cache_info()["maxsize"] >= 1
 
+    def test_eviction_counter_tracks_lru_drops(self, monkeypatch):
+        from repro.frontend import compiler
+        monkeypatch.setattr(compiler, "_PROGRAM_CACHE_MAXSIZE", 2)
+        for tag in range(3):
+            compile_source(Fabric(), VECADD + f"// v{tag}")
+        info = program_cache_info()
+        assert info["evictions"] == 1
+        assert info["size"] == 2
+        # The oldest entry was dropped: recompiling it misses again.
+        compile_source(Fabric(), VECADD + "// v0")
+        assert program_cache_info()["misses"] == 4
+
+    def test_concurrent_compiles_cost_one_miss(self):
+        """N threads compiling one new source -> exactly one miss."""
+        import threading
+
+        source = VECADD + "// concurrent-probe"
+        barrier = threading.Barrier(8)
+
+        def compile_one():
+            barrier.wait(timeout=30)
+            compile_source(Fabric(), source)
+
+        threads = [threading.Thread(target=compile_one) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        info = program_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 7
+        assert info["size"] == 1
+
 
 class TestCodegenLowering:
     def setup_method(self):

@@ -1,0 +1,199 @@
+"""Concurrent-session tests: cache sharing, isolation, backpressure.
+
+Multiple clients hammer one daemon at once. The contract under test:
+the program cache is shared (N concurrent compiles of one new source
+produce exactly one miss), while sessions stay isolated (interleaved
+runs produce disjoint per-session trace bundles, each byte-identical
+to the same work done serially in-process).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server import protocol
+from repro.server.client import Client
+from repro.server.daemon import ServerConfig, start_server_thread
+from repro.server.protocol import ServerError
+
+SCALE_TEMPLATE = """
+__kernel void scale(__global int* data, int n, int factor) {{
+    for (int i = 0; i < n; i++) {{
+        data[i] = data[i] * factor;
+    }}
+}}
+// variant {tag}
+"""
+
+SLOW = """
+__kernel void slow(__global int* out, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc = acc + i;
+        out[0] = acc;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def server():
+    handle = start_server_thread(ServerConfig(workers=0))
+    yield handle
+    handle.stop()
+
+
+def _run_clients(address, count, body):
+    """Run ``body(client, index, out_list)`` in ``count`` threads."""
+    results = [None] * count
+    errors = []
+
+    def worker(index):
+        try:
+            with Client(address) as client:
+                client.open_session()
+                results[index] = body(client, index)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append((index, exc))
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, f"client threads failed: {errors}"
+    return results
+
+
+class TestSharedCache:
+    def test_concurrent_compiles_share_one_miss(self, server):
+        """N clients compiling the same new source -> exactly one miss."""
+        source = SCALE_TEMPLATE.format(tag="shared-miss-probe")
+        outcomes = _run_clients(
+            server.address, 6,
+            lambda client, index: client.compile(source)["cache"])
+        assert sorted(outcomes).count("miss") == 1
+        assert sorted(outcomes).count("hit") == 5
+
+    def test_distinct_sources_each_miss_once(self, server):
+        sources = [SCALE_TEMPLATE.format(tag=f"distinct-{i}")
+                   for i in range(4)]
+        outcomes = _run_clients(
+            server.address, 4,
+            lambda client, index: client.compile(sources[index])["cache"])
+        assert outcomes == ["miss"] * 4
+
+    def test_cache_counters_visible_in_stats(self, server):
+        with Client(server.address) as client:
+            client.open_session()
+            before = client.stats()["cache"]
+            source = SCALE_TEMPLATE.format(tag="counter-probe")
+            client.compile(source)
+            client.compile(source)
+            after = client.stats()["cache"]
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] >= before["hits"] + 1
+
+
+class TestSessionIsolation:
+    # (n, num) per session: different workloads, so any cross-session
+    # bleed shows up as a wrong record count or byte diff.
+    WORKLOADS = [(4, 6), (5, 7), (6, 9)]
+
+    def test_interleaved_runs_yield_disjoint_identical_bundles(
+            self, server, tmp_path):
+        def body(client, index):
+            n, num = self.WORKLOADS[index]
+            client.subscribe()
+            client.run_experiment("fig2", params={"n": n, "num": num},
+                                  trace=True)
+            path = tmp_path / f"session{index}.ctb"
+            rows = client.save_trace(str(path))
+            return path, rows
+
+        results = _run_clients(server.address, len(self.WORKLOADS), body)
+
+        from repro.experiments import registry
+        from repro.trace.columnar import ColumnarSink
+        from repro.trace.hub import TraceHub
+
+        contents = []
+        for index, (path, rows) in enumerate(results):
+            n, num = self.WORKLOADS[index]
+            serial = tmp_path / f"serial{index}.ctb"
+            hub = TraceHub()
+            hub.attach(ColumnarSink(str(serial), hub.registry))
+            registry.run_experiment("fig2", hub=hub, n=n, num=num)
+            hub.close()
+            streamed = path.read_bytes()
+            assert streamed == serial.read_bytes()
+            assert rows == sum(hub.counts.values())
+            contents.append(streamed)
+        # Different workloads really produced different bundles.
+        assert len({len(c) for c in contents}) == len(contents) or \
+            len(set(contents)) == len(contents)
+
+    def test_session_buffers_do_not_leak(self, server):
+        source = SCALE_TEMPLATE.format(tag="buffer-isolation")
+
+        def body(client, index):
+            client.call("buffer.create",
+                        {"name": "x", "size": 4, "fill": [index] * 4})
+            client.run_kernel(source=source, kernel="scale",
+                              args={"n": 4, "factor": 10},
+                              buffers={"data": {"session": "x"}})
+            return client.call("buffer.read", {"name": "x"})["values"]
+
+        results = _run_clients(server.address, 4, body)
+        assert results == [[i * 10] * 4 for i in range(4)]
+
+    def test_trace_records_stay_per_session(self, server):
+        def body(client, index):
+            if index == 0:
+                client.run_experiment("fig2", params={"n": 4, "num": 6},
+                                      trace=True)
+            barrier.wait(timeout=60)
+            return client.query(schema="run.span")["rows"]
+
+        barrier = threading.Barrier(2)
+        with_trace, without_trace = _run_clients(server.address, 2, body)
+        assert with_trace
+        assert without_trace == []
+
+
+class TestConcurrentBackpressure:
+    def test_busy_rejection_while_neighbour_session_unaffected(self):
+        """One saturated session gets ``busy``; another keeps running."""
+        handle = start_server_thread(
+            ServerConfig(workers=0, session_queue_limit=1))
+        try:
+            with Client(handle.address) as greedy, \
+                    Client(handle.address) as polite:
+                greedy.open_session()
+                polite.open_session()
+                program = greedy.compile(SLOW)["program"]
+                job = greedy.enqueue(program=program, kernel="slow",
+                                     args={"n": 60000},
+                                     buffers={"out": {"size": 1}})
+                with pytest.raises(ServerError) as excinfo:
+                    greedy.enqueue(program=program, kernel="slow",
+                                   args={"n": 2},
+                                   buffers={"out": {"size": 1}})
+                assert excinfo.value.code == protocol.E_BUSY
+                assert excinfo.value.data["scope"] == "session"
+                assert excinfo.value.data["queue_depth"] == 1
+                # The other session's queue is independent.  Program
+                # handles are per-session; polite compiles its own copy
+                # (a shared-cache hit).
+                assert polite.compile(SLOW)["cache"] == "hit"
+                other = polite.run_kernel(source=SLOW, kernel="slow",
+                                          args={"n": 3},
+                                          buffers={"out": {"size": 1}})
+                assert other["buffers"]["out"] == [3]
+                assert greedy.wait(job["job"])["buffers"]["out"] == \
+                    [sum(range(60000))]
+        finally:
+            handle.stop()

@@ -231,3 +231,53 @@ class TestOutcome:
         outcome = SweepOutcome(spec_name="s", results=results, workers=0)
         assert outcome.value_map() == {(1,): 10}
         assert len(outcome.failures) == 1
+
+
+def add(a, b):
+    return a + b
+
+
+class TestWorkerPoolLifecycle:
+    def test_warm_start_forks_before_first_submit(self):
+        with WorkerPool(workers=2) as pool:
+            assert not pool.started
+            pids = pool.warm_start()
+            assert pool.started
+            assert len(pids) == 2
+            assert all(pid != os.getpid() for pid in pids)
+
+    def test_submit_call_resolves_by_path(self):
+        with WorkerPool(workers=1) as pool:
+            future = pool.submit_call(f"{HERE}:add", {"a": 2, "b": 40})
+            assert future.result(timeout=30) == 42
+
+    def test_ensure_healthy_on_live_pool(self):
+        with WorkerPool(workers=1) as pool:
+            pool.warm_start()
+            assert pool.ensure_healthy() is True
+
+    def test_ensure_healthy_builds_unstarted_pool(self):
+        with WorkerPool(workers=1) as pool:
+            assert pool.ensure_healthy() is False
+            assert pool.started
+            assert pool.ensure_healthy() is True
+
+    def test_ensure_healthy_rebuilds_broken_pool(self):
+        with WorkerPool(workers=1) as pool:
+            pool.warm_start()
+            # Simulate an idle worker dying (OOM kill, say).
+            pool._executor.shutdown(wait=False, cancel_futures=True)
+            broken = pool._executor
+            broken._broken = "worker died"
+            assert pool.ensure_healthy() is False
+            assert pool._executor is not broken
+            future = pool.submit_call(f"{HERE}:add", {"a": 1, "b": 1})
+            assert future.result(timeout=30) == 2
+
+    def test_rebuild_then_reuse(self):
+        with WorkerPool(workers=1) as pool:
+            pool.warm_start()
+            pool.rebuild()
+            assert not pool.started
+            assert pool.submit_call(
+                f"{HERE}:add", {"a": 3, "b": 4}).result(timeout=30) == 7
