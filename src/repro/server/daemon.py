@@ -555,18 +555,20 @@ class ReproServer:
         from repro.trace.query import TraceQuery
 
         store = session.make_store()
-        query = TraceQuery(store)
-        if params.get("schema"):
-            query.schema(params["schema"])
-        if params.get("kernel"):
-            query.kernel(*_as_list(params["kernel"]))
-        if params.get("cu"):
-            query.cu(*[int(value) for value in _as_list(params["cu"])])
-        if params.get("site"):
-            query.site(*_as_list(params["site"]))
-        if params.get("since") is not None or params.get("until") is not None:
-            query.between(params.get("since"), params.get("until"))
         try:
+            query = TraceQuery(store,
+                               engine=params.get("engine") or "vector")
+            if params.get("schema"):
+                query.schema(params["schema"])
+            if params.get("kernel"):
+                query.kernel(*_as_list(params["kernel"]))
+            if params.get("cu"):
+                query.cu(*[int(value) for value in _as_list(params["cu"])])
+            if params.get("site"):
+                query.site(*_as_list(params["site"]))
+            if (params.get("since") is not None
+                    or params.get("until") is not None):
+                query.between(params.get("since"), params.get("until"))
             if params.get("agg"):
                 result = query.aggregate(params["agg"], by=params.get("by"))
                 if not isinstance(result, dict):

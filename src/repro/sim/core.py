@@ -168,6 +168,25 @@ class _TickTimeout(Timeout):
     __slots__ = ()
 
 
+class _BroadcastTick(Timeout):
+    """A shared one-cycle timeout (see :meth:`Simulator.broadcast_tick`).
+
+    Carries its priority lane so the event loop can keep the cohort
+    *preemptible*: waiters resume in yield order, but if resuming one of
+    them schedules an event at the current cycle in an earlier lane, the
+    remaining waiters are parked back at the front of their own lane and
+    the earlier-lane event runs first — exactly the dequeue order each
+    waiter would have seen with a private per-process tick.
+    """
+
+    __slots__ = ("priority",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        super().__init__(sim, delay, value, priority)
+        self.priority = priority
+
+
 class Interrupt(Exception):
     """Thrown into a process when :meth:`Process.interrupt` is called."""
 
@@ -368,14 +387,18 @@ class Simulator:
         event object and are resumed together (in yield order) when it
         fires — N compute units stepping in lockstep cost one scheduled
         event per cycle instead of N. Unlike :meth:`tick`, the returned
-        event is a plain (non-recycled) :class:`Timeout`, so any number of
+        event is a non-recycled :class:`Timeout`, so any number of
         processes may wait on it, and a waiter interrupted while parked is
-        detached safely through the stale-target mechanism.
+        detached safely through the stale-target mechanism. Coalescing is
+        a pure optimisation: an event scheduled into an earlier priority
+        lane while the cohort resumes preempts the remaining waiters (see
+        :class:`_BroadcastTick`), so dequeue order is indistinguishable
+        from every waiter holding its own per-process tick.
         """
         entry = self._broadcast_ticks.get(priority)
         if entry is not None and entry[0] == self._now:
             return entry[1]
-        event = Timeout(self, 1, None, priority)
+        event = _BroadcastTick(self, 1, None, priority)
         self._broadcast_ticks[priority] = (self._now, event)
         return event
 
@@ -515,6 +538,10 @@ class Simulator:
         """Process exactly one event."""
         event = self._pop_next()
         callbacks, event.callbacks = event.callbacks, None
+        if (type(event) is _BroadcastTick and len(callbacks) > 1
+                and type(self._now) is int):
+            self._step_broadcast(event, callbacks)
+            return
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -525,6 +552,46 @@ class Simulator:
             callbacks.clear()
             event.callbacks = callbacks
             self._tick_pool.append(event)
+
+    def _step_broadcast(self, event: "_BroadcastTick", callbacks: list) -> None:
+        """Resume a broadcast-tick cohort, preserving single-tick order.
+
+        Each waiter is resumed in yield order, but between waiters the
+        queue is re-checked: an event now pending at the current cycle in
+        an earlier priority lane (or an equal-or-earlier far entry — far
+        entries at the same ``(time, priority)`` carry lower sequence
+        numbers) would, with private per-process ticks, dequeue before the
+        remaining waiters. When that happens the remainder of the cohort
+        is parked back at the *front* of the tick's own lane, keeping the
+        FIFO position the un-resumed waiters already held.
+        """
+        pri = event.priority
+        wheel = self._wheel
+        far = self._far
+        callbacks[0](event)
+        for i in range(1, len(callbacks)):
+            now = self._now
+            index = now & _WHEEL_MASK
+            slot = wheel[index]
+            if slot is not None and slot[0] == now:
+                earlier_lane = (slot[1] or slot[2] if pri == 2
+                                else slot[1] if pri == 1 else None)
+            else:
+                earlier_lane = None
+            if not earlier_lane and not (
+                    far and far[0][0] == now and far[0][1] <= pri):
+                callbacks[i](event)
+                continue
+            event.callbacks = callbacks[i:]
+            if slot is None:
+                slot = [now, deque(), deque(), deque()]
+                wheel[index] = slot
+            elif slot[0] != now:
+                slot[0] = now
+            slot[pri + 1].appendleft(event)
+            self._wheel_count += 1
+            self._occupied |= 1 << index
+            return
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.

@@ -10,6 +10,8 @@ reproduction:
   store (append-only segments, dictionary-encoded strings, footer index);
 * :mod:`repro.trace.query` — :class:`TraceQuery` filters/aggregations and
   the bridges feeding the legacy :mod:`repro.analysis` paths;
+* :mod:`repro.trace.engine` — the vectorized columnar execution engine
+  behind the default ``engine="vector"`` tier;
 * :mod:`repro.trace.export` — Chrome trace-event (Perfetto) JSON plus
   CSV/JSON adapters;
 * :mod:`repro.trace.capture` — per-source publish helpers.
@@ -31,8 +33,10 @@ Quickstart::
 from repro.trace.columnar import ColumnarSink, ColumnarStore, Segment
 from repro.trace.hub import MemorySink, TraceHub, TraceSink
 from repro.trace.query import (
+    ENGINES,
     Aggregate,
     TraceQuery,
+    check_engine,
     latency_samples,
     stored_order_records,
 )
@@ -48,6 +52,7 @@ __all__ = [
     "BUILTIN_SCHEMAS",
     "ColumnarSink",
     "ColumnarStore",
+    "ENGINES",
     "MemorySink",
     "SchemaRegistry",
     "Segment",
@@ -56,6 +61,7 @@ __all__ = [
     "TraceRecord",
     "TraceSchema",
     "TraceSink",
+    "check_engine",
     "latency_samples",
     "stored_order_records",
 ]

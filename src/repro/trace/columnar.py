@@ -15,10 +15,20 @@ across runs (multi-run sweeps write into one file) and cheap scans:
   dictionary; everything else is a plain integer.
 * The **footer** is a UTF-8 JSON document indexing every segment: schema
   name, payload fields, row count, byte offset/length, the string
-  dictionary, and the segment's ``min_ts``/``max_ts`` (used to prune
-  whole segments during time-window queries).
+  dictionary, the segment's ``min_ts``/``max_ts`` (used to prune whole
+  segments during time-window queries), and a ``ts_monotone`` flag set
+  at write time when the ``ts`` column is non-decreasing (the vectorized
+  query engine bisects such segments instead of sweeping them).
 * The trailer is the footer's byte length (``uint64`` LE) plus the magic
   again, so appending = truncate trailer, add segments, rewrite footer.
+
+Loading is **zero-copy and lazy**: :meth:`ColumnarStore.load` reads the
+file once and hands each segment a ``memoryview`` slice of its payload;
+a column is decoded (a ``memoryview`` cast to int64 on little-endian
+hosts, an ``array('q')`` byteswap elsewhere) only the first time a query
+touches it. ``min_ts``/``max_ts``/``ts_monotone`` come straight from the
+footer — trusted for pruning, validated once against the column data the
+first time the ``ts`` column is actually decoded.
 """
 
 from __future__ import annotations
@@ -26,7 +36,11 @@ from __future__ import annotations
 import json
 import os
 import struct
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import sys
+from array import array
+from itertools import islice
+from operator import le
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import TraceStoreError
 from repro.trace.hub import TraceSink
@@ -42,6 +56,10 @@ _INT64_MIN = -(1 << 63)
 _INT64_MAX = (1 << 63) - 1
 FORMAT_VERSION = 1
 
+#: On little-endian hosts a column decodes as a zero-copy memoryview cast;
+#: big-endian hosts fall back to an ``array('q')`` byteswap copy.
+_NATIVE_LITTLE = sys.byteorder == "little"
+
 
 def _check_int64(value: int, column: str) -> int:
     if not _INT64_MIN <= value <= _INT64_MAX:
@@ -50,18 +68,81 @@ def _check_int64(value: int, column: str) -> int:
     return value
 
 
-class Segment:
-    """One immutable run of same-schema records, stored column-wise."""
+def _is_monotone(column) -> bool:
+    """True when the column is non-decreasing (empty/singleton: True)."""
+    return all(map(le, column, islice(column, 1, None)))
 
-    __slots__ = ("schema", "fields", "strings", "columns")
+
+class _ColumnsView(Mapping):
+    """Dict-like view over a segment's columns, decoding on access.
+
+    Kept for the row-at-a-time reference scan and any external callers
+    that predate lazy decode; the vectorized engine uses
+    :meth:`Segment.column` directly.
+    """
+
+    __slots__ = ("_segment",)
+
+    def __init__(self, segment: "Segment") -> None:
+        self._segment = segment
+
+    def __getitem__(self, name: str):
+        try:
+            return self._segment.column(name)
+        except TraceStoreError:
+            raise KeyError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._segment.column_order
+
+    def __iter__(self):
+        return iter(self._segment.column_order)
+
+    def __len__(self) -> int:
+        return len(self._segment.column_order)
+
+
+class Segment:
+    """One immutable run of same-schema records, stored column-wise.
+
+    A segment holds its data either as decoded columns (built in memory
+    via :meth:`from_records`) or as raw payload bytes (loaded from disk
+    via :meth:`from_payload`) with columns decoded lazily on first
+    touch. ``min_ts``/``max_ts``/``ts_monotone`` are cached at
+    construction — computed once for in-memory segments, taken from the
+    footer for loaded ones (and validated against the column the first
+    time ``ts`` is decoded).
+    """
+
+    __slots__ = ("schema", "fields", "strings", "_columns", "_payload",
+                 "_rows", "_min_ts", "_max_ts", "_ts_monotone",
+                 "_ts_verified")
 
     def __init__(self, schema: str, fields: Tuple[str, ...],
                  strings: List[str],
-                 columns: Dict[str, List[int]]) -> None:
+                 columns: Optional[Dict[str, List[int]]] = None, *,
+                 payload=None, rows: Optional[int] = None,
+                 min_ts: Optional[int] = None,
+                 max_ts: Optional[int] = None,
+                 ts_monotone: Optional[bool] = None) -> None:
         self.schema = schema
         self.fields = fields
         self.strings = strings
-        self.columns = columns
+        if columns is None and payload is None:
+            raise TraceStoreError(
+                f"segment {schema!r} needs columns or a payload")
+        self._columns = dict(columns) if columns is not None else {}
+        self._payload = memoryview(payload) if payload is not None else None
+        if rows is None:
+            rows = len(self._columns["ts"])
+        self._rows = int(rows)
+        self._min_ts = min_ts
+        self._max_ts = max_ts
+        self._ts_monotone = ts_monotone
+        # Footer claims are validated once, at first decode of ``ts``;
+        # in-memory segments (no payload) have nothing to validate.
+        self._ts_verified = self._payload is None or (
+            min_ts is None and max_ts is None and ts_monotone is None)
 
     # -- construction -----------------------------------------------------
 
@@ -94,29 +175,126 @@ class Segment:
             columns["site"].append(intern(record.site))
             for name, value in zip(schema.fields, record.values):
                 columns[name].append(_check_int64(int(value), name))
-        return cls(schema.name, schema.fields, strings, columns)
+        ts = columns["ts"]
+        if ts:
+            min_ts, max_ts = min(ts), max(ts)
+            monotone = _is_monotone(ts)
+        else:
+            min_ts = max_ts = 0
+            monotone = True
+        return cls(schema.name, schema.fields, strings, columns,
+                   min_ts=min_ts, max_ts=max_ts, ts_monotone=monotone)
 
     # -- shape -------------------------------------------------------------
 
     @property
     def rows(self) -> int:
         """Number of records stored in this segment."""
-        return len(self.columns["ts"])
+        return self._rows
 
     @property
     def min_ts(self) -> int:
         """Smallest timestamp in the segment (0 when empty)."""
-        return min(self.columns["ts"]) if self.rows else 0
+        if self._min_ts is None:
+            ts = self.column("ts")
+            self._min_ts = min(ts) if self._rows else 0
+        return self._min_ts
 
     @property
     def max_ts(self) -> int:
         """Largest timestamp in the segment (0 when empty)."""
-        return max(self.columns["ts"]) if self.rows else 0
+        if self._max_ts is None:
+            ts = self.column("ts")
+            self._max_ts = max(ts) if self._rows else 0
+        return self._max_ts
+
+    @property
+    def ts_monotone(self) -> bool:
+        """True when ``ts`` is non-decreasing (time windows can bisect).
+
+        Cached at construction (write path) or taken from the footer
+        (load path); computed on demand for bundles written before the
+        flag existed.
+        """
+        if self._ts_monotone is None:
+            self._ts_monotone = (_is_monotone(self.column("ts"))
+                                 if self._rows else True)
+        return self._ts_monotone
 
     @property
     def column_order(self) -> Tuple[str, ...]:
         """On-disk column order: standard columns then payload fields."""
         return STANDARD_COLUMNS + self.fields
+
+    # -- column access -----------------------------------------------------
+
+    @property
+    def columns(self) -> Mapping:
+        """Mapping view of every column (decodes lazily on access)."""
+        return _ColumnsView(self)
+
+    def has_column(self, name: str) -> bool:
+        """True when the segment stores a column of that name."""
+        return name in self._columns or name in self.column_order
+
+    def column(self, name: str):
+        """One column as an int64 sequence, decoding it on first touch.
+
+        In-memory segments return their list columns; loaded segments
+        return a zero-copy ``memoryview`` cast over the payload (or an
+        ``array('q')`` on big-endian hosts). Unknown names raise
+        :class:`TraceStoreError`.
+        """
+        column = self._columns.get(name)
+        if column is not None:
+            return column
+        return self._decode(name)
+
+    def _decode(self, name: str):
+        try:
+            index = self.column_order.index(name)
+        except ValueError:
+            raise TraceStoreError(
+                f"segment {self.schema!r} has no column {name!r}; "
+                f"columns: {', '.join(self.column_order)}") from None
+        if self._payload is None:
+            raise TraceStoreError(
+                f"segment {self.schema!r}: column {name!r} missing from "
+                "in-memory segment")
+        start = index * self._rows * 8
+        view = self._payload[start:start + self._rows * 8]
+        if _NATIVE_LITTLE:
+            column = view.cast("q")
+        else:  # pragma: no cover - big-endian hosts
+            swapped = array("q")
+            swapped.frombytes(view)
+            swapped.byteswap()
+            column = swapped
+        self._columns[name] = column
+        if name == "ts" and not self._ts_verified:
+            self._verify_ts_claims(column)
+        return column
+
+    def _verify_ts_claims(self, ts) -> None:
+        """Validate footer ``min_ts``/``max_ts``/``ts_monotone`` once."""
+        self._ts_verified = True
+        actual_min = min(ts) if self._rows else 0
+        actual_max = max(ts) if self._rows else 0
+        if self._min_ts is not None and self._min_ts != actual_min:
+            raise TraceStoreError(
+                f"segment {self.schema!r}: footer min_ts {self._min_ts} "
+                f"disagrees with column minimum {actual_min} "
+                "(corrupt footer)")
+        if self._max_ts is not None and self._max_ts != actual_max:
+            raise TraceStoreError(
+                f"segment {self.schema!r}: footer max_ts {self._max_ts} "
+                f"disagrees with column maximum {actual_max} "
+                "(corrupt footer)")
+        if self._ts_monotone and not _is_monotone(ts):
+            raise TraceStoreError(
+                f"segment {self.schema!r}: footer claims a monotone ts "
+                "column but the data is not non-decreasing "
+                "(corrupt footer)")
 
     # -- row access --------------------------------------------------------
 
@@ -124,32 +302,38 @@ class Segment:
         """Materialize row ``index`` back into a :class:`TraceRecord`."""
         return TraceRecord(
             schema=self.schema,
-            ts=self.columns["ts"][index],
-            kernel=self.strings[self.columns["kernel"][index]],
-            cu=self.columns["cu"][index],
-            site=self.strings[self.columns["site"][index]],
-            values=tuple(self.columns[name][index] for name in self.fields))
+            ts=self.column("ts")[index],
+            kernel=self.strings[self.column("kernel")[index]],
+            cu=self.column("cu")[index],
+            site=self.strings[self.column("site")[index]],
+            values=tuple(self.column(name)[index] for name in self.fields))
 
     def row(self, index: int) -> Dict[str, object]:
         """Row ``index`` as a flat dict (strings decoded)."""
         out: Dict[str, object] = {
             "schema": self.schema,
-            "ts": self.columns["ts"][index],
-            "kernel": self.strings[self.columns["kernel"][index]],
-            "cu": self.columns["cu"][index],
-            "site": self.strings[self.columns["site"][index]],
+            "ts": self.column("ts")[index],
+            "kernel": self.strings[self.column("kernel")[index]],
+            "cu": self.column("cu")[index],
+            "site": self.strings[self.column("site")[index]],
         }
         for name in self.fields:
-            out[name] = self.columns[name][index]
+            out[name] = self.column(name)[index]
         return out
 
     # -- (de)serialization -------------------------------------------------
 
     def payload_bytes(self) -> bytes:
-        """The segment's column data as on-disk bytes."""
+        """The segment's column data as on-disk bytes.
+
+        Loaded segments return their payload slice directly (no
+        re-encode); in-memory segments pack their columns.
+        """
+        if self._payload is not None:
+            return self._payload.tobytes()
         parts = []
         for name in self.column_order:
-            values = self.columns[name]
+            values = self._columns[name]
             parts.append(struct.pack(f"<{len(values)}q", *values))
         return b"".join(parts)
 
@@ -164,11 +348,18 @@ class Segment:
             "strings": list(self.strings),
             "min_ts": self.min_ts,
             "max_ts": self.max_ts,
+            "ts_monotone": self.ts_monotone,
         }
 
     @classmethod
-    def from_payload(cls, meta: Dict[str, object], data: bytes) -> "Segment":
-        """Decode one segment from its footer entry + raw column bytes."""
+    def from_payload(cls, meta: Dict[str, object], data) -> "Segment":
+        """Wrap one segment around its footer entry + raw column bytes.
+
+        Columns stay undecoded until touched; ``data`` may be ``bytes``
+        or a ``memoryview`` into a larger buffer (zero-copy load path).
+        Footers written before ``ts_monotone``/stats existed load fine —
+        missing values are recomputed on demand.
+        """
         fields = tuple(meta["fields"])
         rows = int(meta["rows"])
         order = STANDARD_COLUMNS + fields
@@ -177,13 +368,14 @@ class Segment:
             raise TraceStoreError(
                 f"segment {meta['schema']!r}: expected {expected} payload "
                 f"bytes, got {len(data)}")
-        columns: Dict[str, List[int]] = {}
-        for index, name in enumerate(order):
-            start = index * rows * 8
-            columns[name] = list(
-                struct.unpack_from(f"<{rows}q", data, start))
+        min_ts = meta.get("min_ts")
+        max_ts = meta.get("max_ts")
+        monotone = meta.get("ts_monotone")
         return cls(str(meta["schema"]), fields, list(meta["strings"]),
-                   columns)
+                   payload=data, rows=rows,
+                   min_ts=None if min_ts is None else int(min_ts),
+                   max_ts=None if max_ts is None else int(max_ts),
+                   ts_monotone=None if monotone is None else bool(monotone))
 
 
 class ColumnarStore:
@@ -261,13 +453,19 @@ class ColumnarStore:
 
     @classmethod
     def load(cls, path: str) -> "ColumnarStore":
-        """Read a ``.ctb`` file back into memory."""
+        """Read a ``.ctb`` file back, decoding columns lazily.
+
+        The file is read once; every segment holds a zero-copy
+        ``memoryview`` slice of its payload and decodes a column only
+        when a query first touches it.
+        """
         try:
             with open(path, "rb") as handle:
                 data = handle.read()
         except OSError as exc:
             raise TraceStoreError(f"cannot read trace store: {exc}") from exc
         metas = _parse_trailer(data)
+        view = memoryview(data)
         segments = []
         for meta in metas:
             start = int(meta["offset"])
@@ -276,7 +474,7 @@ class ColumnarStore:
                 raise TraceStoreError(
                     f"segment extent {start}:{end} beyond file size "
                     f"{len(data)}")
-            segments.append(Segment.from_payload(meta, data[start:end]))
+            segments.append(Segment.from_payload(meta, view[start:end]))
         return cls(segments)
 
     @staticmethod

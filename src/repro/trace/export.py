@@ -8,8 +8,16 @@ hits and raw ibuffer drains become instants (``ph: "i"``), and
 vendor-profiler counters become counter events (``ph: "C"``). Timestamps
 are simulation cycles used as microseconds.
 
+Every exporter takes an ``engine`` selector mirroring
+:class:`~repro.trace.query.TraceQuery`: the default ``"vector"`` path
+streams straight off the decoded columns — distinct kernel names come
+from the segment string dictionaries, CSV lines zip column batches, and
+no per-row dicts are built along the way — while ``"reference"`` runs
+the original row-dict implementations. Both produce byte-identical
+documents (pinned by ``tests/test_prop_trace_engine.py``).
+
 The CSV/JSON adapters reuse the existing :mod:`repro.analysis.export`
-helpers so flat-file consumers keep one code path.
+helpers on the reference path so flat-file consumers keep one code path.
 
 .. _trace-event format:
    https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
@@ -21,8 +29,9 @@ import json
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import TraceStoreError
-from repro.trace.columnar import ColumnarStore
-from repro.trace.query import TraceQuery
+from repro.trace import engine as _vector
+from repro.trace.columnar import ColumnarStore, Segment
+from repro.trace.query import TraceQuery, check_engine
 
 #: Event phases the exporter emits (the subset of the spec we use).
 _SPAN, _INSTANT, _COUNTER, _METADATA = "X", "i", "C", "M"
@@ -40,13 +49,112 @@ def _watch_kind_name(kind: int) -> str:
     return names.get(kind, f"watch-kind-{kind}")
 
 
-def chrome_trace_events(store: ColumnarStore) -> List[Dict[str, object]]:
+def chrome_trace_events(store: ColumnarStore,
+                        engine: str = "vector") -> List[Dict[str, object]]:
     """Stored trace -> list of Chrome trace-event dicts.
 
     Deterministic: pids are assigned to kernels in sorted order, events
     appear in storage order per category.
     """
-    rows = TraceQuery(store).rows()
+    if check_engine(engine) == "reference":
+        return _chrome_trace_events_reference(store)
+    kernels = _vector.distinct_kernels(store)
+    pids = {kernel: index + 1 for index, kernel in enumerate(kernels)}
+
+    events: List[Dict[str, object]] = []
+    for kernel in kernels:
+        events.append({"ph": _METADATA, "name": "process_name",
+                       "pid": pids[kernel], "tid": 0,
+                       "args": {"name": kernel or "(unattributed)"}})
+    for segment in store.segments:
+        if segment.rows:
+            _segment_events(segment, pids, store, events)
+    return events
+
+
+def _segment_events(segment: Segment, pids: Dict[str, int],
+                    store: ColumnarStore,
+                    events: List[Dict[str, object]]) -> None:
+    """Append one segment's trace events, straight off its columns."""
+    schema = segment.schema
+    strings = segment.strings
+    kernel = segment.column("kernel")
+    cu = segment.column("cu")
+    site = segment.column("site")
+    indices = range(segment.rows)
+    if schema == "latency.sample":
+        starts = segment.column("start_cycle")
+        durations = segment.column("latency")
+        start_values = segment.column("start_value")
+        end_values = segment.column("end_value")
+        for i in indices:
+            events.append({
+                "pid": pids[strings[kernel[i]]], "tid": cu[i],
+                "cat": schema, "ph": _SPAN,
+                "name": strings[site[i]] or "latency",
+                "ts": starts[i], "dur": durations[i],
+                "args": {"start_value": start_values[i],
+                         "end_value": end_values[i]}})
+    elif schema == "run.span":
+        starts = segment.column("start")
+        ends = segment.column("end")
+        for i in indices:
+            events.append({
+                "pid": pids[strings[kernel[i]]], "tid": cu[i],
+                "cat": schema, "ph": _SPAN,
+                "name": strings[site[i]] or "run",
+                "ts": starts[i], "dur": ends[i] - starts[i], "args": {}})
+    elif schema == "host.command":
+        starts = segment.column("start")
+        ends = segment.column("end")
+        queued = segment.column("queued")
+        for i in indices:
+            events.append({
+                "pid": pids[strings[kernel[i]]], "tid": cu[i],
+                "cat": schema, "ph": _SPAN,
+                "name": strings[site[i]] or "command",
+                "ts": starts[i], "dur": ends[i] - starts[i],
+                "args": {"queued": queued[i]}})
+    elif schema == "watch.event":
+        ts = segment.column("ts")
+        kinds = segment.column("kind")
+        addresses = segment.column("address")
+        tags = segment.column("tag")
+        for i in indices:
+            events.append({
+                "pid": pids[strings[kernel[i]]], "tid": cu[i],
+                "cat": schema, "ph": _INSTANT,
+                "name": _watch_kind_name(kinds[i]),
+                "ts": ts[i], "s": "t",
+                "args": {"address": addresses[i], "tag": tags[i]}})
+    elif schema in ("counter.lsu", "counter.channel"):
+        ts = segment.column("ts")
+        fields = [(name, segment.column(name))
+                  for name in store.fields_of(schema)]
+        for i in indices:
+            events.append({
+                "pid": pids[strings[kernel[i]]], "tid": cu[i],
+                "cat": schema, "ph": _COUNTER,
+                "name": strings[site[i]] or schema,
+                "ts": ts[i],
+                "args": {name: column[i] for name, column in fields}})
+    else:
+        # Generic instants: raw ibuffer drains, order records, emu runs.
+        ts = segment.column("ts")
+        fields = [(name, segment.column(name)) for name in segment.fields]
+        for i in indices:
+            events.append({
+                "pid": pids[strings[kernel[i]]], "tid": cu[i],
+                "cat": schema, "ph": _INSTANT,
+                "name": strings[site[i]] or schema,
+                "ts": ts[i], "s": "t",
+                "args": {name: column[i] for name, column in fields}})
+
+
+def _chrome_trace_events_reference(store: ColumnarStore
+                                   ) -> List[Dict[str, object]]:
+    """The original row-dict exporter, retained as the byte oracle."""
+    rows = TraceQuery(store, engine="reference").rows()
     kernels = sorted({str(row["kernel"]) for row in rows})
     pids = {kernel: index + 1 for index, kernel in enumerate(kernels)}
 
@@ -96,10 +204,11 @@ def chrome_trace_events(store: ColumnarStore) -> List[Dict[str, object]]:
     return events
 
 
-def to_chrome_json(store: ColumnarStore, pretty: bool = True) -> str:
+def to_chrome_json(store: ColumnarStore, pretty: bool = True,
+                   engine: str = "vector") -> str:
     """Stored trace -> Chrome/Perfetto-loadable JSON document."""
     document = {
-        "traceEvents": chrome_trace_events(store),
+        "traceEvents": chrome_trace_events(store, engine=engine),
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro-fpga", "time_unit": "cycles"},
     }
@@ -144,37 +253,72 @@ def validate_chrome_events(events: Sequence[Dict[str, object]]) -> List[str]:
 
 # -- flat-file adapters -------------------------------------------------------
 
-def store_to_entries(store: ColumnarStore, schema: str
-                     ) -> List[Dict[str, int]]:
-    """One schema's rows as integer-only entry dicts (``ts``, ``cu`` and
-    the payload fields; string columns are dropped — use JSON for those).
-    """
+def _check_schema(store: ColumnarStore, schema: str) -> None:
     if schema not in store.schemas():
         raise TraceStoreError(
             f"store holds no records of schema {schema!r}; "
             f"present: {', '.join(store.schemas()) or '(empty)'}")
+
+
+def store_to_entries(store: ColumnarStore, schema: str,
+                     engine: str = "vector") -> List[Dict[str, int]]:
+    """One schema's rows as integer-only entry dicts (``ts``, ``cu`` and
+    the payload fields; string columns are dropped — use JSON for those).
+    """
+    _check_schema(store, schema)
+    if check_engine(engine) == "reference":
+        entries = []
+        for row in TraceQuery(store, engine="reference").schema(schema).rows():
+            entry = {"ts": int(row["ts"]), "cu": int(row["cu"])}
+            for name in store.fields_of(schema):
+                entry[name] = int(row[name])
+            entries.append(entry)
+        return entries
+    fields = store.fields_of(schema)
     entries = []
-    for row in TraceQuery(store).schema(schema).rows():
-        entry = {"ts": int(row["ts"]), "cu": int(row["cu"])}
-        for name in store.fields_of(schema):
-            entry[name] = int(row[name])
-        entries.append(entry)
+    for segment in store.segments:
+        if segment.schema != schema or not segment.rows:
+            continue
+        ts = segment.column("ts")
+        cu = segment.column("cu")
+        columns = [(name, segment.column(name)) for name in fields]
+        for i in range(segment.rows):
+            entry = {"ts": ts[i], "cu": cu[i]}
+            for name, column in columns:
+                entry[name] = column[i]
+            entries.append(entry)
     return entries
 
 
-def store_to_csv(store: ColumnarStore, schema: str) -> str:
+def store_to_csv(store: ColumnarStore, schema: str,
+                 engine: str = "vector") -> str:
     """One schema's rows as CSV (header always present, even when empty)."""
-    from repro.analysis.export import entries_to_csv
-
     fields = ("ts", "cu") + store.fields_of(schema)
-    return entries_to_csv(store_to_entries(store, schema),
-                          allow_empty=True, fields=fields)
+    if check_engine(engine) == "reference":
+        from repro.analysis.export import entries_to_csv
+
+        entries = store_to_entries(store, schema, engine="reference")
+        return entries_to_csv(entries, allow_empty=True, fields=fields)
+    _check_schema(store, schema)
+    lines = [",".join(fields)]
+    for segment in store.segments:
+        if segment.schema != schema or not segment.rows:
+            continue
+        columns = [segment.column("ts"), segment.column("cu")]
+        columns += [segment.column(name) for name in store.fields_of(schema)]
+        for values in zip(*columns):
+            lines.append(",".join(map(str, values)))
+    return "\n".join(lines) + "\n"
 
 
-def store_to_json(store: ColumnarStore,
-                  schema: Optional[str] = None) -> str:
-    """Rows (all schemas or one) as a JSON array with string columns kept."""
-    query = TraceQuery(store)
+def store_to_json(store: ColumnarStore, schema: Optional[str] = None,
+                  engine: str = "vector") -> str:
+    """Rows (all schemas or one) as a JSON array with string columns kept.
+
+    The vector engine's ``rows()`` already materializes straight off the
+    columns, so both engines serve this through one serializer.
+    """
+    query = TraceQuery(store, engine=engine)
     if schema is not None:
         query.schema(schema)
     return json.dumps(query.rows(), indent=2, sort_keys=True)

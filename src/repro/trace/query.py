@@ -5,6 +5,16 @@ time window / kernel / CU / site / payload equality, then project rows or
 aggregate. Segment footers carry ``min_ts``/``max_ts``, so time-window
 queries skip whole segments without touching their columns.
 
+Execution is tiered like the simulator's executors and the frontend:
+
+* ``engine="vector"`` (default) — the vectorized columnar engine in
+  :mod:`repro.trace.engine`: segment pruning via string dictionaries and
+  footer stats, bisected monotone time windows, column-sweep match
+  indices, batch materialization, running-accumulator aggregates.
+* ``engine="reference"`` — the original row-at-a-time scan, retained
+  verbatim as the semantics oracle (pinned against the vectorized
+  engine by ``tests/test_prop_trace_engine.py``).
+
 The module also provides the bridges that reimplement the legacy
 in-memory analysis paths on top of stored traces:
 :func:`latency_samples` feeds :mod:`repro.analysis.latency` and
@@ -18,8 +28,21 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import TraceSchemaError, TraceStoreError
+from repro.trace import engine as _vector
 from repro.trace.columnar import ColumnarStore, Segment
 from repro.trace.schema import TraceRecord
+
+#: Query engines selectable via ``TraceQuery(engine=)`` / ``--engine``.
+ENGINES: Tuple[str, ...] = ("vector", "reference")
+
+
+def check_engine(engine: str) -> str:
+    """Validate an engine name; unknown names raise ``TraceStoreError``."""
+    if engine not in ENGINES:
+        raise TraceStoreError(
+            f"unknown trace query engine {engine!r}; "
+            f"choose from: {', '.join(ENGINES)}")
+    return engine
 
 
 @dataclass(frozen=True)
@@ -45,10 +68,15 @@ class TraceQuery:
 
         rows = (TraceQuery(store).schema("latency.sample")
                 .kernel("stall_monitor").between(0, 5_000).rows())
+
+    ``engine`` selects the execution tier: ``"vector"`` (default, the
+    columnar engine) or ``"reference"`` (the row-at-a-time oracle).
     """
 
-    def __init__(self, store: ColumnarStore) -> None:
+    def __init__(self, store: ColumnarStore,
+                 engine: str = "vector") -> None:
         self._store = store
+        self._engine = check_engine(engine)
         self._schemas: Optional[set] = None
         self._since: Optional[int] = None
         self._until: Optional[int] = None
@@ -112,6 +140,9 @@ class TraceQuery:
         return True
 
     def _scan(self):
+        # The reference engine, retained verbatim: one Python if-chain
+        # per row, one (segment, index) pair yielded per match. This is
+        # the semantics oracle the vectorized engine is pinned against.
         emitted = 0
         for segment in self._store.segments:
             if not self._segment_matches(segment):
@@ -155,14 +186,21 @@ class TraceQuery:
 
     def rows(self) -> List[Dict[str, object]]:
         """Matching rows as flat dicts, in storage order."""
-        return [segment.row(index) for segment, index in self._scan()]
+        if self._engine == "reference":
+            return [segment.row(index) for segment, index in self._scan()]
+        return _vector.rows(self)
 
     def records(self) -> List[TraceRecord]:
         """Matching rows as :class:`TraceRecord` objects."""
-        return [segment.record(index) for segment, index in self._scan()]
+        if self._engine == "reference":
+            return [segment.record(index)
+                    for segment, index in self._scan()]
+        return _vector.records(self)
 
     def select(self, *columns: str) -> List[Tuple]:
         """Project the named columns from matching rows, as tuples."""
+        if self._engine != "reference":
+            return _vector.select(self, columns)
         out = []
         for segment, index in self._scan():
             row = segment.row(index)
@@ -176,7 +214,9 @@ class TraceQuery:
 
     def count(self) -> int:
         """Number of matching rows."""
-        return sum(1 for _ in self._scan())
+        if self._engine == "reference":
+            return sum(1 for _ in self._scan())
+        return _vector.count(self)
 
     def aggregate(self, field: str, by: Optional[str] = None
                   ) -> Union[Aggregate, Dict[object, Aggregate]]:
@@ -185,6 +225,17 @@ class TraceQuery:
         With ``by`` (any column, e.g. ``"site"`` or ``"kernel"``), returns
         one :class:`Aggregate` per distinct group key.
         """
+        if self._engine != "reference":
+            accumulators = _vector.aggregate(self, field, by)
+            if by is None:
+                acc = accumulators.get(None)
+                if acc is None:
+                    return Aggregate(count=0, minimum=0, maximum=0, total=0)
+                return Aggregate(count=acc[0], minimum=acc[1],
+                                 maximum=acc[2], total=acc[3])
+            return {key: Aggregate(count=acc[0], minimum=acc[1],
+                                   maximum=acc[2], total=acc[3])
+                    for key, acc in accumulators.items()}
         groups: Dict[object, List[int]] = {}
         for segment, index in self._scan():
             row = segment.row(index)

@@ -89,6 +89,27 @@ def _lsu_snapshot(engine):
     return snapshot
 
 
+class TestBroadcastCohortPreemption:
+    """Regression: a broadcast-tick cohort must be preemptible.
+
+    With per-process ticks (reference executor) an iteration retiring
+    mid-cycle frees a pipeline slot whose NORMAL-lane wake-up lets the
+    launcher issue the next iteration *before* the remaining LATE-lane
+    cycle waiters resume. The coalesced broadcast tick used to run its
+    whole cohort atomically, flipping the wake order one cycle later;
+    the event loop now parks the un-resumed waiters when an earlier lane
+    fills up (see Simulator._step_broadcast).
+    """
+
+    def test_launcher_preempts_remaining_cycle_waiters(self):
+        steps = [("cycle", 0), ("cycle", 0)]
+        fast = _run(steps, 4, 2, "fast")
+        ref = _run(steps, 4, 2, "reference")
+        assert fast[1].observed == ref[1].observed
+        assert fast[0].sim.now == ref[0].sim.now
+        assert fast[2].stats.iteration_trace == ref[2].stats.iteration_trace
+
+
 class TestExecutorEquivalence:
     @given(steps=_steps,
            iterations=st.integers(1, 4),

@@ -94,6 +94,41 @@ class TestCliPipeline:
         assert main(["trace", "info", str(tmp_path / "absent.ctb")]) == 2
 
 
+class TestCliEngineParity:
+    """``--engine reference`` output is byte-identical to the default."""
+
+    def _stdout(self, capsys, argv):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_query_rows_stdout_identical(self, fig2_bundle, capsys):
+        argv = ["trace", "query", fig2_bundle, "--schema", "order.record",
+                "--limit", "7"]
+        assert self._stdout(capsys, argv + ["--engine", "vector"]) == \
+            self._stdout(capsys, argv + ["--engine", "reference"])
+
+    def test_query_aggregate_stdout_identical(self, fig2_bundle, capsys):
+        argv = ["trace", "query", fig2_bundle, "--schema", "order.record",
+                "--agg", "inner", "--by", "kernel"]
+        assert self._stdout(capsys, argv + ["--engine", "vector"]) == \
+            self._stdout(capsys, argv + ["--engine", "reference"])
+
+    @pytest.mark.parametrize("fmt,extra", [
+        ("chrome", []),
+        ("csv", ["--schema", "order.record"]),
+        ("json", []),
+    ])
+    def test_export_bytes_identical(self, fig2_bundle, tmp_path, capsys,
+                                    fmt, extra):
+        vector = tmp_path / "vector.out"
+        reference = tmp_path / "reference.out"
+        argv = ["trace", "export", fig2_bundle, "--format", fmt] + extra
+        assert main(argv + ["--engine", "vector", "-o", str(vector)]) == 0
+        assert main(argv + ["--engine", "reference",
+                            "-o", str(reference)]) == 0
+        assert vector.read_bytes() == reference.read_bytes()
+
+
 class TestChromeExporter:
     def _store(self):
         hub = TraceHub()

@@ -169,3 +169,71 @@ class TestColumnarSink:
         sink.close()
         assert sink.rows_written == 5
         assert ColumnarStore.load(path).total_rows() == 5
+
+
+class TestLazyDecode:
+    def test_load_defers_column_decode(self, tmp_path):
+        path = str(tmp_path / "lazy.ctb")
+        ColumnarStore.from_records(_records(5), _registry()).save(path)
+        segment = ColumnarStore.load(path).segments[0]
+        # Footer stats answer shape questions without touching the payload.
+        assert (segment.min_ts, segment.max_ts) == (0, 40)
+        assert segment.ts_monotone is True
+        assert segment._columns == {}
+        column = segment.column("ts")
+        assert list(column) == [0, 10, 20, 30, 40]
+        assert segment.column("ts") is column   # decoded once, cached
+
+    def test_loaded_payload_is_not_reencoded(self, tmp_path):
+        path = str(tmp_path / "lazy.ctb")
+        store = ColumnarStore.from_records(_records(6), _registry())
+        store.save(path)
+        loaded = ColumnarStore.load(path)
+        assert loaded.segments[0].payload_bytes() == \
+            store.segments[0].payload_bytes()
+
+    def test_meta_carries_footer_stats(self):
+        registry = _registry()
+        records = _records(3)
+        records.reverse()   # ts now decreasing
+        segment = Segment.from_records(registry.get("watch.event"), records)
+        meta = segment.meta(0, 0)
+        assert (meta["min_ts"], meta["max_ts"]) == (0, 20)
+        assert meta["ts_monotone"] is False
+
+    def test_legacy_footer_without_stats(self):
+        registry = _registry()
+        segment = Segment.from_records(registry.get("watch.event"),
+                                       _records(4))
+        data = segment.payload_bytes()
+        meta = segment.meta(0, len(data))
+        for key in ("min_ts", "max_ts", "ts_monotone"):
+            del meta[key]   # pre-stats footers (and the wire path)
+        clone = Segment.from_payload(meta, data)
+        assert (clone.min_ts, clone.max_ts) == (0, 30)
+        assert clone.ts_monotone is True
+        assert [clone.record(i) for i in range(4)] == \
+            [segment.record(i) for i in range(4)]
+
+    def test_corrupt_footer_min_ts_rejected(self):
+        registry = _registry()
+        segment = Segment.from_records(registry.get("watch.event"),
+                                       _records(3))
+        data = segment.payload_bytes()
+        meta = segment.meta(0, len(data))
+        meta["min_ts"] = 7
+        clone = Segment.from_payload(meta, data)
+        with pytest.raises(TraceStoreError, match="corrupt footer"):
+            clone.column("ts")
+
+    def test_corrupt_monotone_claim_rejected(self):
+        registry = _registry()
+        records = _records(3)
+        records.reverse()
+        segment = Segment.from_records(registry.get("watch.event"), records)
+        data = segment.payload_bytes()
+        meta = segment.meta(0, len(data))
+        meta["ts_monotone"] = True   # the data is decreasing
+        clone = Segment.from_payload(meta, data)
+        with pytest.raises(TraceStoreError, match="corrupt footer"):
+            clone.column("ts")
