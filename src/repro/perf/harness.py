@@ -604,6 +604,92 @@ def bench_trace_query_scan() -> Tuple[float, Dict]:
     }
 
 
+def _publish_ingest_batch(hub, rows: int) -> None:
+    """The batch-path producer loop: one bound writer, positional values."""
+    writer = hub.writer("latency.sample", kernel="matvec", cu=0, site="lsu0")
+    write = writer.write
+    for index in range(rows):
+        write(index, index, index + 7, 7, index & 255, (index + 7) & 255)
+
+
+def _publish_ingest_reference(hub, rows: int) -> None:
+    """The pre-batch producer loop: ``hub.emit`` with keyword fields."""
+    emit = hub.emit
+    for index in range(rows):
+        emit("latency.sample", index, kernel="matvec", cu=0, site="lsu0",
+             start_cycle=index, end_cycle=index + 7, latency=7,
+             start_value=index & 255, end_value=(index + 7) & 255)
+
+
+def bench_trace_ingest() -> Tuple[float, Dict]:
+    """Batched columnar ingest vs the per-record reference path.
+
+    Streams ~1M synthetic ``latency.sample`` rows through a capture-only
+    hub (``keep_records=False``) into a :class:`ColumnarSink` ``.ctb``
+    under the default ``ingest="batch"`` mode with a bound writer — the
+    configuration sweep workers and server jobs run — and times the
+    whole pipeline including the flush to disk. The reference leg runs
+    the retained ``ingest="reference"`` mode through ``hub.emit`` (the
+    pre-batch hot path: one TraceRecord and one ``schema.pack`` dict
+    walk per row) over a smaller, rate-normalized sample. The reported
+    value is batch records/s; the detail records the reference rate and
+    the speedup, which the acceptance test gates at >= 5x. A third
+    short batch leg over the reference leg's exact row count must
+    produce a byte-identical ``.ctb`` — a mismatch fails the benchmark
+    outright.
+    """
+    import os
+    import tempfile
+
+    from repro.trace.columnar import ColumnarSink
+    from repro.trace.hub import TraceHub
+
+    batch_rows = 1 << 20
+    reference_rows = 1 << 17
+
+    def run(ingest, rows, path):
+        hub = TraceHub(keep_records=False, ingest=ingest)
+        hub.attach(ColumnarSink(path, hub.registry))
+        publish = (_publish_ingest_batch if ingest == "batch"
+                   else _publish_ingest_reference)
+        start = time.perf_counter()
+        publish(hub, rows)
+        hub.close()
+        return time.perf_counter() - start
+
+    def timed(ingest, rows, path, attempts=2):
+        # Best-of-N over distinct output files (the sink appends to an
+        # existing bundle): scheduler stalls only ever inflate a leg, so
+        # the minimum is the stable estimate on shared machines.
+        return min(run(ingest, rows, f"{path}.{attempt}")
+                   for attempt in range(attempts))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        batch_s = timed("batch", batch_rows, os.path.join(tmp, "batch.ctb"))
+        reference_s = timed("reference", reference_rows,
+                            os.path.join(tmp, "reference.ctb"))
+        run("reference", reference_rows, os.path.join(tmp, "reference.ctb"))
+        run("batch", reference_rows, os.path.join(tmp, "identity.ctb"))
+        with open(os.path.join(tmp, "reference.ctb"), "rb") as handle:
+            reference_bytes = handle.read()
+        with open(os.path.join(tmp, "identity.ctb"), "rb") as handle:
+            identity_bytes = handle.read()
+    if identity_bytes != reference_bytes:
+        raise AssertionError(
+            "batch-ingest .ctb is not byte-identical to the reference path")
+    batch_rate = batch_rows / batch_s if batch_s else 0.0
+    reference_rate = reference_rows / reference_s if reference_s else 0.0
+    return batch_rate, {
+        "records": batch_rows,
+        "elapsed_s": batch_s,
+        "reference_records": reference_rows,
+        "reference_records_per_s": reference_rate,
+        "speedup_vs_reference": (
+            batch_rate / reference_rate if reference_rate else 0.0),
+        "outputs_identical": True,
+    }
+
+
 def bench_server_warm_run(cold_runs: int = 3,
                           warm_runs: int = 6) -> Tuple[float, Dict]:
     """Warm emulation daemon vs cold CLI invocations (the serve payoff).
@@ -699,6 +785,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[float, Dict]], str, int]] = {
     "frontend_compile": (bench_frontend_compile, "programs/s", 3),
     "ndrange_batch": (bench_ndrange_batch, "sim-cycles/s", 3),
     "trace_query_scan": (bench_trace_query_scan, "rows/s", 3),
+    "trace_ingest": (bench_trace_ingest, "records/s", 3),
     "sweep_scalability_grid": (bench_sweep_scalability_grid, "points/s", 1),
     "server_warm_run": (bench_server_warm_run, "runs/s", 1),
 }

@@ -139,6 +139,8 @@ class BatchPipelineEngine(PipelineEngine):
         self._b_commits: List[tuple] = []
         self._b_last_commit = 0
         self._advance_op: Any = None
+        # Bound trace writers per schema (rebuilt if the fabric hub swaps).
+        self._writers: Dict[str, Any] = {}
 
     # -- launcher ----------------------------------------------------------
 
@@ -169,14 +171,14 @@ class BatchPipelineEngine(PipelineEngine):
             # Phase A is side-effect-free, so the materialized tag list can
             # be replayed through the ordinary stepping path verbatim.
             self.batch.divergence += 1
-            self._emit("batch.divergence", site=abort.reason, rows=len(tags))
+            self._emit("batch.divergence", abort.reason, len(tags))
             yield from self._fallback(abort.reason, tags, rows=len(tags),
                                       ops=plan.op_count)
             return
         self.batch.mode = "table"
         self.batch.rows = len(tags)
         self.batch.ops = plan.op_count
-        self._emit("batch.launch", mode=1, rows=len(tags), ops=plan.op_count)
+        self._emit("batch.launch", "", 1, len(tags), plan.op_count)
         self._replay(rows)
         return
         yield  # pragma: no cover - makes _launcher a generator either way
@@ -187,14 +189,22 @@ class BatchPipelineEngine(PipelineEngine):
         self.batch.reason = reason
         self.batch.rows = rows
         self.batch.ops = ops
-        self._emit("batch.launch", site=reason, mode=0, rows=rows, ops=ops)
+        self._emit("batch.launch", reason, 0, rows, ops)
         yield from self._launch_tags(space)
 
-    def _emit(self, schema: str, site: str = "", **fields: int) -> None:
+    def _emit(self, schema: str, site: str = "", *values: int) -> None:
+        # Values are positional in schema field order (batch.launch:
+        # mode/rows/ops; batch.divergence: rows), via a bound writer per
+        # schema so the hot fallback path skips record construction.
         hub = self.fabric.trace
-        if hub is not None:
-            hub.emit(schema, self.sim.now, kernel=self.kernel.name,
-                     cu=self.instance.compute_id, site=site, **fields)
+        if hub is None:
+            return
+        writer = self._writers.get(schema)
+        if writer is None or writer.hub is not hub:
+            writer = hub.writer(schema, kernel=self.kernel.name,
+                                cu=self.instance.compute_id)
+            self._writers[schema] = writer
+        writer.write_to(site, self.sim.now, *values)
 
     # -- Phase A: columnar value execution (no shared side effects) --------
 

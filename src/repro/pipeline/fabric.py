@@ -46,16 +46,19 @@ class Fabric:
         self.service_kernels: List[AutorunKernel] = []
         self._lazy_counters: List[Any] = []
 
-    def enable_tracing(self, hub: Optional[Any] = None) -> Any:
+    def enable_tracing(self, hub: Optional[Any] = None, *,
+                       flush_rows: int = 0) -> Any:
         """Install (and return) a trace hub on this fabric.
 
         With no argument a fresh :class:`repro.trace.hub.TraceHub` is
-        created. Imported lazily so the base fabric stays importable
+        created; ``flush_rows`` is forwarded to it (seal + flush attached
+        sinks every N published rows; 0, the default, flushes only at
+        close). Imported lazily so the base fabric stays importable
         without the trace subsystem.
         """
         if hub is None:
             from repro.trace.hub import TraceHub
-            hub = TraceHub()
+            hub = TraceHub(flush_rows=flush_rows)
         self.trace = hub
         return hub
 

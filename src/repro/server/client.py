@@ -14,9 +14,16 @@ call waits for its response are stashed:
   server-side ``job.wait``);
 * everything else accumulates in ``client.notifications``.
 
-:meth:`Client.save_trace` writes the streamed records to a ``.ctb``
+:meth:`Client.open_session` requests binary segment frames by default
+(``binary_segments: true``): the server then follows each
+``trace.segment`` line with the raw column bytes, which the client
+wraps zero-copy — no base64 decode, no per-record rebuild. A server
+predating the capability ignores the flag and keeps sending base64;
+both encodings land in ``client.segments`` identically.
+
+:meth:`Client.save_trace` writes the streamed segments to a ``.ctb``
 bundle byte-identical to what a local in-process run with
-``--trace-out`` would have produced (records regrouped by schema
+``--trace-out`` would have produced (segments merged per schema in
 first-appearance order — exactly one ``ColumnarSink`` flush at hub
 close).
 """
@@ -100,12 +107,29 @@ class Client:
             self.segment_batches.append(
                 {key: params[key] for key in ("batch", "rows")
                  if key in params} | {"replay": bool(params.get("replay"))})
-            for wire in params.get("segments", ()):
-                self.segments.append(protocol.segment_from_wire(wire))
+            if params.get("encoding") == "binary":
+                # Binary frame: each header's payload follows the
+                # notification line, in listing order.
+                for header in params.get("segments", ()):
+                    data = self._read_exact(int(header["length"]))
+                    self.segments.append(
+                        protocol.segment_from_header(header, data))
+            else:
+                for wire in params.get("segments", ()):
+                    self.segments.append(protocol.segment_from_wire(wire))
         elif method == "kernel.complete":
             self.completions[params.get("job")] = params
         else:
             self.notifications.append(message)
+
+    def _read_exact(self, length: int) -> bytes:
+        data = self._reader.read(length)
+        if len(data) != length:
+            raise ServerError(
+                protocol.E_INTERNAL,
+                f"server closed mid-frame: expected {length} payload "
+                f"bytes, got {len(data)}")
+        return data
 
     def close(self) -> None:
         """Close the connection (the server reaps the session)."""
@@ -136,7 +160,8 @@ class Client:
         return self.call("server.shutdown")
 
     def open_session(self, **params: Any) -> Dict[str, Any]:
-        result = self.call("session.open", params or None)
+        params.setdefault("binary_segments", True)
+        result = self.call("session.open", params)
         self.session_id = result["session"]
         return result
 
@@ -190,19 +215,21 @@ class Client:
         return records, registry
 
     def save_trace(self, path: str) -> int:
-        """Write every streamed record to ``path`` as a ``.ctb`` bundle.
+        """Write every streamed segment to ``path`` as a ``.ctb`` bundle.
 
-        Records are regrouped by schema first-appearance order across
+        Segments are merged per schema in first-appearance order across
         the whole stream — the grouping a local ``ColumnarSink`` uses
         for its single flush at hub close — so the file is
         byte-identical to an in-process ``--trace-out`` capture of the
-        same work. Returns rows written; with zero records no file is
-        created (matching the local sink).
+        same work. Single-batch streams pass through zero-copy (the
+        received column bytes are written verbatim). Returns rows
+        written; with zero streamed rows no file is created (matching
+        the local sink).
         """
-        records, registry = self.streamed_records()
-        if not records:
+        if not self.segments:
             return 0
-        from repro.trace.columnar import ColumnarStore
+        from repro.trace.columnar import ColumnarStore, merge_segments
 
-        ColumnarStore.from_records(records, registry).save(path)
-        return len(records)
+        merged = merge_segments(self.segments)
+        ColumnarStore(list(merged)).save(path)
+        return sum(segment.rows for segment in merged)

@@ -55,6 +55,10 @@ class ServerConfig:
     max_buffer_elems: int = 1 << 20
     #: Retained trace records per session (older rows age out).
     max_trace_records: int = 1 << 20
+    #: Default streamed-segment split: at most N rows per streamed
+    #: segment (0 = one segment per schema per batch). Sessions may
+    #: override via the ``session.open`` ``trace_flush_rows`` param.
+    trace_flush_rows: int = 0
 
 
 class _Connection:
@@ -64,6 +68,9 @@ class _Connection:
         self.writer = writer
         self.lock = asyncio.Lock()
         self.session: Optional[Session] = None
+        #: Negotiated at ``session.open``: stream ``trace.segment``
+        #: payloads as raw binary frames instead of base64 JSON.
+        self.binary_segments = False
 
     async def send(self, data: bytes) -> None:
         async with self.lock:
@@ -225,6 +232,41 @@ class ReproServer:
                               "open a session first (session.open)")
         return conn.session
 
+    async def _send_segments(self, conn: _Connection, session: Session,
+                             subscription: Subscription,
+                             segments: List[Any],
+                             replay: bool = False) -> None:
+        """Deliver one ``trace.segment`` batch in the negotiated encoding.
+
+        Base64-in-JSON by default; when the session negotiated
+        ``binary_segments`` the notification line is followed by the raw
+        column bytes of each segment (written atomically under the
+        connection lock, so no other message interleaves).
+        """
+        rows = sum(segment.rows for segment in segments)
+        subscription.batches_sent += 1
+        subscription.rows_sent += rows
+        params: Dict[str, Any] = {
+            "session": session.session_id,
+            "subscription": subscription.subscription_id,
+            "batch": subscription.batches_sent,
+            "rows": rows,
+        }
+        if replay:
+            params["replay"] = True
+        if conn.binary_segments:
+            payloads = [segment.payload_bytes() for segment in segments]
+            params["encoding"] = "binary"
+            params["segments"] = [
+                protocol.segment_header(segment, len(payload))
+                for segment, payload in zip(segments, payloads)]
+            await conn.send(protocol.encode_binary_notification(
+                "trace.segment", params, payloads))
+        else:
+            params["segments"] = [protocol.segment_to_wire(segment)
+                                  for segment in segments]
+            await conn.notify("trace.segment", params)
+
     async def _publish_records(self, conn: _Connection, session: Session,
                                result: Dict[str, Any]) -> int:
         """Retain a finished job's trace records and stream to subscribers.
@@ -242,17 +284,7 @@ class ReproServer:
             segments = session.batch_segments(added, subscription)
             if not segments:
                 continue
-            rows = sum(segment.rows for segment in segments)
-            subscription.batches_sent += 1
-            subscription.rows_sent += rows
-            await conn.notify("trace.segment", {
-                "session": session.session_id,
-                "subscription": subscription.subscription_id,
-                "batch": subscription.batches_sent,
-                "rows": rows,
-                "segments": [protocol.segment_to_wire(segment)
-                             for segment in segments],
-            })
+            await self._send_segments(conn, session, subscription, segments)
         return len(added)
 
     def _kernel_payload(self, session: Session,
@@ -362,14 +394,22 @@ class ReproServer:
         requested = params.get("queue_limit")
         if requested is not None:
             queue_limit = max(1, min(int(requested), queue_limit))
+        trace_flush_rows = self.config.trace_flush_rows
+        requested_flush = params.get("trace_flush_rows")
+        if requested_flush is not None:
+            trace_flush_rows = max(0, int(requested_flush))
         quota = SessionQuota(
             queue_limit=queue_limit,
             max_buffer_elems=self.config.max_buffer_elems,
-            max_trace_records=self.config.max_trace_records)
+            max_trace_records=self.config.max_trace_records,
+            trace_flush_rows=trace_flush_rows)
         session = Session(session_id, quota=quota)
         self.sessions[session_id] = session
         self._session_conns[session_id] = conn
         conn.session = session
+        # Capability negotiation: a server without this code ignores the
+        # param and omits the ack, so such a client keeps reading base64.
+        conn.binary_segments = bool(params.get("binary_segments"))
         import repro
 
         return {
@@ -379,6 +419,8 @@ class ReproServer:
                 "mode": "inline" if self.pool is None else "pool",
                 "workers": 0 if self.pool is None else self.pool.workers,
                 "queue_limit": queue_limit,
+                "binary_segments": conn.binary_segments,
+                "trace_flush_rows": trace_flush_rows,
             },
         }
 
@@ -524,18 +566,8 @@ class ReproServer:
         if params.get("replay") and session.records:
             segments = session.batch_segments(session.records, subscription)
             if segments:
-                rows = sum(segment.rows for segment in segments)
-                subscription.batches_sent += 1
-                subscription.rows_sent += rows
-                await conn.notify("trace.segment", {
-                    "session": session.session_id,
-                    "subscription": subscription.subscription_id,
-                    "batch": subscription.batches_sent,
-                    "rows": rows,
-                    "replay": True,
-                    "segments": [protocol.segment_to_wire(segment)
-                                 for segment in segments],
-                })
+                await self._send_segments(conn, session, subscription,
+                                          segments, replay=True)
         return {"subscription": subscription.subscription_id}
 
     async def _m_trace_unsubscribe(self, conn, params):

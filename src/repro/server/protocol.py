@@ -15,7 +15,14 @@ terminated). Three shapes exist:
   (``kernel.complete``).
 
 Binary ``.ctb`` segment payloads travel base64-encoded inside
-notifications; everything else is plain JSON.
+notifications by default. A client that passes ``binary_segments: true``
+to ``session.open`` (acked in the response's ``server`` block) instead
+receives **binary frames**: the ``trace.segment`` notification line is
+followed immediately by the raw column bytes of each listed segment,
+concatenated in order. The notification marks itself with
+``"encoding": "binary"`` and each segment header carries a ``"length"``
+byte count, so the frame is self-describing; servers predating the
+capability simply ignore the flag and keep sending base64.
 """
 
 from __future__ import annotations
@@ -168,3 +175,40 @@ def segment_from_wire(wire: Dict[str, Any]):
         {"schema": wire["schema"], "fields": wire["fields"],
          "rows": wire["rows"], "strings": wire["strings"]},
         base64.b64decode(wire["data"]))
+
+
+def segment_header(segment, length: int) -> Dict[str, Any]:
+    """Binary-frame header for one segment whose raw payload follows.
+
+    Same keys as :func:`segment_to_wire` with the base64 ``data``
+    replaced by the payload's byte ``length`` — the receiver reads that
+    many raw bytes off the stream after the notification line.
+    """
+    return {
+        "schema": segment.schema,
+        "fields": list(segment.fields),
+        "rows": segment.rows,
+        "strings": list(segment.strings),
+        "length": int(length),
+    }
+
+
+def segment_from_header(header: Dict[str, Any], data):
+    """Rebuild a segment from a binary-frame header + its raw bytes."""
+    from repro.trace.columnar import Segment
+
+    return Segment.from_payload(
+        {"schema": header["schema"], "fields": header["fields"],
+         "rows": header["rows"], "strings": header["strings"]}, data)
+
+
+def encode_binary_notification(method: str, params: Dict[str, Any],
+                               payloads: List[bytes]) -> bytes:
+    """One binary frame: notification line + concatenated raw payloads.
+
+    ``params`` must already carry ``"encoding": "binary"`` and segment
+    headers (see :func:`segment_header`) whose ``length`` fields sum to
+    the payload bytes that follow. The caller must write the returned
+    bytes atomically with respect to other messages on the connection.
+    """
+    return encode_notification(method, params) + b"".join(payloads)

@@ -39,6 +39,11 @@ class SessionQuota:
     #: Retained trace records; older records are dropped (and counted)
     #: once exceeded — subscribers already received them.
     max_trace_records: int = 1 << 20
+    #: Streamed-segment granularity: split each subscriber batch into
+    #: segments of at most this many rows (0, the default, keeps one
+    #: segment per schema per batch — matching a local
+    #: ``ColumnarSink`` flush at hub close).
+    trace_flush_rows: int = 0
 
 
 @dataclass
@@ -181,7 +186,10 @@ class Session:
         Grouping matches :meth:`ColumnarStore.append_records` (schema
         first-appearance order), so a client that stitches batches back
         together reproduces exactly what a local ``ColumnarSink`` flush
-        per run would have written.
+        per run would have written. A non-zero ``quota.trace_flush_rows``
+        additionally splits each group into segments of at most that
+        many rows (clients merge them back with
+        :func:`repro.trace.columnar.merge_segments`).
         """
         from repro.trace.columnar import Segment
 
@@ -189,8 +197,17 @@ class Session:
         for record in records:
             if subscription.wants(record.schema):
                 grouped.setdefault(record.schema, []).append(record)
-        return [Segment.from_records(self.registry.get(name), group)
-                for name, group in grouped.items()]
+        limit = self.quota.trace_flush_rows
+        segments: List[Any] = []
+        for name, group in grouped.items():
+            schema = self.registry.get(name)
+            if limit and len(group) > limit:
+                segments.extend(
+                    Segment.from_records(schema, group[start:start + limit])
+                    for start in range(0, len(group), limit))
+            else:
+                segments.append(Segment.from_records(schema, group))
+        return segments
 
     # -- summary -----------------------------------------------------------
 

@@ -97,6 +97,12 @@ class PointResult:
     worker: Optional[int] = None
     trace_records: List[Any] = field(default_factory=list)
     trace_schemas: Tuple[Tuple[str, Tuple[str, ...], str], ...] = ()
+    #: Captured trace batches as ``(header, payload_bytes)`` pairs in
+    #: seal order — the encoded-segment transport (workers ship raw
+    #: column bytes, never pickled record objects). ``trace_records``
+    #: stays for results built by older callers; the merger accepts both.
+    trace_segments: List[Tuple[Dict[str, Any], bytes]] = \
+        field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -108,9 +114,12 @@ class SweepSpec:
     """A named, ordered collection of independent points.
 
     ``trace_kwarg`` names a keyword argument through which each point
-    receives a fresh :class:`repro.trace.hub.TraceHub`; records published
-    into it ride back with the point's result and are merged — in
-    canonical point order — into one ``.ctb`` bundle by the runner.
+    receives a fresh :class:`repro.trace.hub.TraceHub`; rows published
+    into it ride back with the point's result (as encoded column
+    segments) and are merged — in canonical point order — into one
+    ``.ctb`` bundle by the runner. The hub is capture-only
+    (``keep_records=False``): point functions publish into it but must
+    not read ``hub.records`` back.
     """
 
     name: str
@@ -175,5 +184,8 @@ class SweepOutcome:
         return self
 
     def trace_rows(self) -> int:
-        """Total trace records captured across all points."""
-        return sum(len(result.trace_records) for result in self.results)
+        """Total trace rows captured across all points (segments + records)."""
+        return sum(
+            len(result.trace_records)
+            + sum(int(header["rows"]) for header, _ in result.trace_segments)
+            for result in self.results)

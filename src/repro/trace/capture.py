@@ -37,10 +37,11 @@ def publish_ibuffer_entries(hub: TraceHub, ibuffer, unit: int,
         ibuffer_schema_name(ibuffer.name), layout_fields,
         doc=f"Raw READ drain of ibuffer {ibuffer.name!r}")
     site = f"{ibuffer.name}[{unit}]"
+    writer = hub.writer(schema.name, kernel=ibuffer.name, cu=unit, site=site)
+    write = writer.write
     for entry in entries:
-        payload = {name: entry[name] for name in layout_fields}
-        hub.emit(schema.name, entry.get("timestamp", 0),
-                 kernel=ibuffer.name, cu=unit, site=site, **payload)
+        write(entry.get("timestamp", 0),
+              *(entry[name] for name in layout_fields))
     return len(entries)
 
 
@@ -48,13 +49,12 @@ def publish_latency_samples(hub: TraceHub, samples: Iterable,
                             kernel: str = "", cu: int = 0,
                             site: str = "") -> int:
     """Publish paired :class:`LatencySample` measurements."""
+    writer = hub.writer("latency.sample", kernel=kernel, cu=cu, site=site)
+    write = writer.write
     count = 0
     for sample in samples:
-        hub.emit("latency.sample", sample.start_cycle, kernel=kernel,
-                 cu=cu, site=site,
-                 start_cycle=sample.start_cycle, end_cycle=sample.end_cycle,
-                 latency=sample.latency, start_value=sample.start_value,
-                 end_value=sample.end_value)
+        write(sample.start_cycle, sample.start_cycle, sample.end_cycle,
+              sample.latency, sample.start_value, sample.end_value)
         count += 1
     return count
 
@@ -63,10 +63,11 @@ def publish_watch_events(hub: TraceHub, entries: Sequence[Dict[str, int]],
                          kernel: str = "", cu: int = 0,
                          site: str = "") -> int:
     """Publish decoded watchpoint entries (timestamp/address/tag/kind)."""
+    writer = hub.writer("watch.event", kernel=kernel, cu=cu, site=site)
+    write = writer.write
     for entry in entries:
-        hub.emit("watch.event", entry["timestamp"], kernel=kernel, cu=cu,
-                 site=site, address=entry["address"], tag=entry["tag"],
-                 kind=entry["kind"])
+        write(entry["timestamp"], entry["address"], entry["tag"],
+              entry["kind"])
     return len(entries)
 
 
@@ -74,11 +75,11 @@ def publish_order_records(hub: TraceHub, records: Iterable,
                           kernel: str = "", cu: int = 0,
                           site: str = "") -> int:
     """Publish Figure 2 :class:`OrderRecord` issue-order probes."""
+    writer = hub.writer("order.record", kernel=kernel, cu=cu, site=site)
+    write = writer.write
     count = 0
     for record in records:
-        hub.emit("order.record", record.timestamp, kernel=kernel, cu=cu,
-                 site=site, seq=record.seq, outer=record.outer,
-                 inner=record.inner)
+        write(record.timestamp, record.seq, record.outer, record.inner)
         count += 1
     return count
 
@@ -99,18 +100,18 @@ def publish_vendor_report(hub: TraceHub, report, kernel: str = "") -> int:
     """
     ts = report.window_cycles
     count = 0
+    lsu_writer = hub.writer("counter.lsu", kernel=kernel)
     for lsu in report.lsus:
-        hub.emit("counter.lsu", ts, kernel=kernel, site=lsu.site,
-                 accesses=lsu.accesses,
-                 total_latency=lsu.total_latency_cycles,
-                 max_latency=lsu.max_latency_cycles)
+        lsu_writer.write_to(lsu.site, ts, lsu.accesses,
+                            lsu.total_latency_cycles,
+                            lsu.max_latency_cycles)
         count += 1
+    channel_writer = hub.writer("counter.channel", kernel=kernel)
     for channel in report.channels:
-        hub.emit("counter.channel", ts, kernel=kernel, site=channel.name,
-                 writes=channel.writes, reads=channel.reads,
-                 write_stalls=channel.write_stall_cycles,
-                 read_stalls=channel.read_stall_cycles,
-                 max_occupancy=channel.max_occupancy)
+        channel_writer.write_to(channel.name, ts, channel.writes,
+                                channel.reads, channel.write_stall_cycles,
+                                channel.read_stall_cycles,
+                                channel.max_occupancy)
         count += 1
     return count
 

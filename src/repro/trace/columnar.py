@@ -334,22 +334,71 @@ class Segment:
         parts = []
         for name in self.column_order:
             values = self._columns[name]
-            parts.append(struct.pack(f"<{len(values)}q", *values))
+            if isinstance(values, array) and values.typecode == "q":
+                # Batch-ingest builders hand us array('q') columns: on
+                # little-endian hosts their buffer IS the on-disk form.
+                if _NATIVE_LITTLE:
+                    parts.append(values.tobytes())
+                else:  # pragma: no cover - big-endian hosts
+                    swapped = array("q", values)
+                    swapped.byteswap()
+                    parts.append(swapped.tobytes())
+            else:
+                parts.append(struct.pack(f"<{len(values)}q", *values))
         return b"".join(parts)
 
-    def meta(self, offset: int, length: int) -> Dict[str, object]:
-        """Footer-index entry for this segment at the given extent."""
+    def write_payload(self, handle) -> int:
+        """Stream the segment's on-disk bytes into ``handle``.
+
+        Byte-for-byte what :meth:`payload_bytes` would produce, without
+        materializing one joined buffer: loaded segments copy their
+        payload view straight through, ``array('q')`` columns stream
+        their buffers with ``tofile``, list columns pack per column.
+        Returns the number of bytes written.
+        """
+        if self._payload is not None:
+            handle.write(self._payload)
+            return self._payload.nbytes
+        total = 0
+        for name in self.column_order:
+            values = self._columns[name]
+            if isinstance(values, array) and values.typecode == "q":
+                if _NATIVE_LITTLE:
+                    values.tofile(handle)
+                else:  # pragma: no cover - big-endian hosts
+                    swapped = array("q", values)
+                    swapped.byteswap()
+                    swapped.tofile(handle)
+                total += len(values) * 8
+            else:
+                data = struct.pack(f"<{len(values)}q", *values)
+                handle.write(data)
+                total += len(data)
+        return total
+
+    def header(self) -> Dict[str, object]:
+        """Extent-free segment metadata (wire/IPC form).
+
+        Everything :meth:`from_payload` needs to rebuild the segment
+        around raw column bytes: schema layout, row count, string
+        dictionary, and the cached timestamp stats.
+        """
         return {
             "schema": self.schema,
             "fields": list(self.fields),
             "rows": self.rows,
-            "offset": offset,
-            "length": length,
             "strings": list(self.strings),
             "min_ts": self.min_ts,
             "max_ts": self.max_ts,
             "ts_monotone": self.ts_monotone,
         }
+
+    def meta(self, offset: int, length: int) -> Dict[str, object]:
+        """Footer-index entry for this segment at the given extent."""
+        meta = self.header()
+        meta["offset"] = offset
+        meta["length"] = length
+        return meta
 
     @classmethod
     def from_payload(cls, meta: Dict[str, object], data) -> "Segment":
@@ -445,10 +494,9 @@ class ColumnarStore:
             offset = len(MAGIC)
             metas: List[Dict[str, object]] = []
             for segment in self.segments:
-                data = segment.payload_bytes()
-                handle.write(data)
-                metas.append(segment.meta(offset, len(data)))
-                offset += len(data)
+                length = segment.write_payload(handle)
+                metas.append(segment.meta(offset, length))
+                offset += length
             _write_trailer(handle, metas)
 
     @classmethod
@@ -490,6 +538,26 @@ class ColumnarStore:
         if not os.path.exists(path):
             delta.save(path)
             return delta.total_rows()
+        ColumnarStore.append_segments(path, delta.segments)
+        return delta.total_rows()
+
+    @staticmethod
+    def append_segments(path: str, segments: Sequence[Segment]) -> int:
+        """Append already-sealed segments to ``path``; returns rows added.
+
+        The segment-level sibling of :meth:`append_to` — the batch
+        ingest and binary IPC paths land here with finished segments
+        (or wire payloads wrapped by :meth:`Segment.from_payload`), so
+        an append is raw byte copies plus a footer rewrite; no record
+        objects exist at any point. Creates the file when absent.
+        """
+        segments = list(segments)
+        if not os.path.exists(path):
+            store = ColumnarStore(segments)
+            store.save(path)
+            return store.total_rows()
+        if not segments:
+            return 0
         with open(path, "r+b") as handle:
             handle.seek(0, os.SEEK_END)
             size = handle.tell()
@@ -514,13 +582,12 @@ class ColumnarStore:
             handle.seek(footer_start)
             handle.truncate()
             offset = footer_start
-            for segment in delta.segments:
-                data = segment.payload_bytes()
-                handle.write(data)
-                metas.append(segment.meta(offset, len(data)))
-                offset += len(data)
+            for segment in segments:
+                length = segment.write_payload(handle)
+                metas.append(segment.meta(offset, length))
+                offset += length
             _write_trailer(handle, metas)
-        return delta.total_rows()
+        return sum(segment.rows for segment in segments)
 
 
 def _write_trailer(handle, metas: List[Dict[str, object]]) -> None:
@@ -550,35 +617,133 @@ def _parse_trailer(data: bytes) -> List[Dict[str, object]]:
     return list(footer.get("segments", []))
 
 
+def merge_segments(segments: Sequence[Segment]) -> List[Segment]:
+    """Merge a segment stream into one segment per schema.
+
+    Grouping is schema first-appearance order; within a group, rows keep
+    stream order and the merged string dictionary is rebuilt by
+    interning kernel-then-site per row — exactly the segment
+    :meth:`Segment.from_records` would build from the same record
+    stream, without materializing a single record. Single-segment
+    groups pass through untouched (pure zero-copy), which is why
+    :meth:`repro.server.client.Client.save_trace` can stitch streamed
+    wire segments into a bundle byte-identical to a local capture.
+    """
+    groups: Dict[str, List[Segment]] = {}
+    for segment in segments:
+        groups.setdefault(segment.schema, []).append(segment)
+    merged: List[Segment] = []
+    for name, group in groups.items():
+        if len(group) == 1:
+            merged.append(group[0])
+            continue
+        fields = group[0].fields
+        for segment in group[1:]:
+            if segment.fields != fields:
+                raise TraceStoreError(
+                    f"cannot merge segments of schema {name!r}: field "
+                    f"layouts differ ({segment.fields} vs {fields})")
+        strings: List[str] = []
+        string_ids: Dict[str, int] = {}
+        columns: Dict[str, array] = {column: array("q")
+                                     for column in STANDARD_COLUMNS + fields}
+        kernel_out = columns["kernel"]
+        site_out = columns["site"]
+        for segment in group:
+            kernel_col = segment.column("kernel")
+            site_col = segment.column("site")
+            names = segment.strings
+            for index in range(segment.rows):
+                text = names[kernel_col[index]]
+                interned = string_ids.get(text)
+                if interned is None:
+                    interned = string_ids[text] = len(strings)
+                    strings.append(text)
+                kernel_out.append(interned)
+                text = names[site_col[index]]
+                interned = string_ids.get(text)
+                if interned is None:
+                    interned = string_ids[text] = len(strings)
+                    strings.append(text)
+                site_out.append(interned)
+            columns["ts"].extend(segment.column("ts"))
+            columns["cu"].extend(segment.column("cu"))
+            for field in fields:
+                columns[field].extend(segment.column(field))
+        ts = columns["ts"]
+        if len(ts):
+            min_ts, max_ts = min(ts), max(ts)
+            monotone = _is_monotone(ts)
+        else:  # pragma: no cover - empty segments are never produced
+            min_ts = max_ts = 0
+            monotone = True
+        merged.append(Segment(name, fields, strings, columns,
+                              min_ts=min_ts, max_ts=max_ts,
+                              ts_monotone=monotone))
+    return merged
+
+
 class ColumnarSink(TraceSink):
     """Hub sink that persists every record to a ``.ctb`` file on close.
 
-    Records are buffered in memory and sealed into segments when the hub
-    is closed (or :meth:`flush` is called explicitly); each flush appends
-    to the target file, so repeated runs accumulate.
+    On a batch-ingest hub the sink consumes sealed column batches
+    wholesale (:meth:`on_batch`): a flush appends their raw payload
+    bytes to the file — a few buffer copies, no per-record encode. On a
+    reference-ingest hub it buffers records and seals them itself at
+    flush, the original (oracle) path; both produce byte-identical
+    ``.ctb`` files.
+
+    ``flush_rows=N`` writes to disk every N buffered rows (0 = only at
+    close/explicit flush). When the sink is driven by a hub, set the
+    threshold on the hub (``TraceHub(flush_rows=...)``) — the hub must
+    seal its column batches at the same boundaries; the sink-level knob
+    serves standalone/reference use.
     """
 
-    def __init__(self, path: str, registry: SchemaRegistry) -> None:
+    accepts_batches = True
+
+    def __init__(self, path: str, registry: SchemaRegistry,
+                 flush_rows: int = 0) -> None:
         self.path = path
         self.registry = registry
+        #: Self-flush threshold in buffered rows (0 = never).
+        self.flush_rows = int(flush_rows)
         self._pending: List[TraceRecord] = []
+        self._segments: List[Segment] = []
+        self._pending_rows = 0
         #: Total rows written to disk over this sink's lifetime.
         self.rows_written = 0
 
     def on_record(self, schema: TraceSchema, record: TraceRecord) -> None:
-        """Buffer the record for the next flush."""
+        """Buffer the record for the next flush (reference ingest)."""
         self._pending.append(record)
+        self._pending_rows += 1
+        if self.flush_rows and self._pending_rows >= self.flush_rows:
+            self.flush()
+
+    def on_batch(self, schema: TraceSchema, segment: Segment) -> None:
+        """Buffer one sealed column batch for the next flush."""
+        self._segments.append(segment)
+        self._pending_rows += segment.rows
+        if self.flush_rows and self._pending_rows >= self.flush_rows:
+            self.flush()
 
     def flush(self) -> int:
-        """Seal buffered records into segments appended to the file."""
-        if not self._pending:
+        """Append buffered records/batches to the file; returns rows."""
+        if not self._pending and not self._segments:
             return 0
-        added = ColumnarStore.append_to(self.path, self._pending,
-                                        self.registry)
+        segments: List[Segment] = []
+        if self._pending:
+            segments.extend(ColumnarStore.from_records(
+                self._pending, self.registry).segments)
+            self._pending = []
+        segments.extend(self._segments)
+        self._segments = []
+        self._pending_rows = 0
+        added = ColumnarStore.append_segments(self.path, segments)
         self.rows_written += added
-        self._pending = []
         return added
 
     def close(self) -> None:
-        """Flush any buffered records (called by ``TraceHub.close``)."""
+        """Flush any buffered data (called by ``TraceHub.close``)."""
         self.flush()

@@ -192,8 +192,15 @@ class TestTraceMerging:
     def test_records_ride_back_with_results(self):
         outcome = run_sweep(self._spec(), serial=True)
         assert outcome.trace_rows() == 6
-        assert [len(result.trace_records)
+        assert [sum(header["rows"] for header, _ in result.trace_segments)
                 for result in outcome.results] == [3, 1, 2]
+        # Rows travel as encoded segment bytes, never pickled records.
+        assert all(result.trace_records == [] for result in outcome.results)
+        for result in outcome.results:
+            for header, payload in result.trace_segments:
+                assert isinstance(payload, bytes)
+                assert len(payload) == header["rows"] * 8 * (
+                    4 + len(header["fields"]))
 
     def test_serial_and_parallel_bundles_byte_identical(self, tmp_path):
         serial_path = str(tmp_path / "serial.ctb")
@@ -219,6 +226,26 @@ class TestTraceMerging:
         store = ColumnarStore.load(path)
         assert store.schemas() == ["ibuffer.custom"]
         assert store.records()[0].values == (7, 9)
+
+    def test_dynamic_schemas_deduped_per_chunk(self, tmp_path):
+        # Five points all emit the same dynamic schema; a chunk ships its
+        # layout once (with the first result), not once per point.
+        from repro.trace.columnar import ColumnarStore
+
+        points = [SweepPoint(key=(index,), func=f"{HERE}:emit_dynamic_schema",
+                             kwargs={})
+                  for index in range(5)]
+        spec = SweepSpec(name="dd", points=points, trace_kwarg="trace")
+        path = str(tmp_path / "dd.ctb")
+        outcome = run_sweep(spec, workers=1, chunk_size=5, trace_path=path)
+        outcome.raise_if_failed()
+        shipped = [result.trace_schemas for result in outcome.results]
+        assert sum(len(schemas) for schemas in shipped) == 1
+        assert shipped[0] == (("ibuffer.custom", ("alpha", "beta"), ""),)
+        # The layout still reaches the merged bundle despite the dedupe.
+        store = ColumnarStore.load(path)
+        assert store.schemas() == ["ibuffer.custom"]
+        assert store.total_rows() == 5
 
 
 class TestOutcome:
